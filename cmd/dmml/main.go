@@ -1,0 +1,133 @@
+// Command dmml runs a declarative-ML (DML) script: an R-like matrix
+// expression language — assignments, counted loops, conditionals — with a
+// SystemML-style rewrite optimizer (matrix-chain reordering, aggregate
+// fusion, loop-invariant code motion).
+//
+// Usage:
+//
+//	dmml script.dml                 # optimize and run a script file
+//	dmml -e 'sum(eye(3))'           # evaluate an expression
+//	dmml -explain script.dml        # print the optimized program, then run
+//	dmml -no-opt script.dml         # skip the rewrite engine
+//	dmml -csv name=path.csv ...     # bind numeric CSV files as matrices
+//
+// CSV bindings load headerless numeric CSV files; each becomes a dense
+// matrix variable available to the script.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmml/internal/dml"
+	"dmml/internal/la"
+	"dmml/internal/storage"
+)
+
+type csvBindings []string
+
+func (c *csvBindings) String() string { return strings.Join(*c, ",") }
+
+func (c *csvBindings) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	expr := flag.String("e", "", "evaluate this expression instead of a file")
+	explain := flag.Bool("explain", false, "print the optimized program before running")
+	noOpt := flag.Bool("no-opt", false, "disable the rewrite optimizer")
+	var csvs csvBindings
+	flag.Var(&csvs, "csv", "bind a headerless numeric CSV as a matrix: name=path (repeatable)")
+	flag.Parse()
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: dmml [-e expr] [-explain] [-no-opt] [-csv name=path] [script.dml]")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	env := dml.Env{}
+	for _, bind := range csvs {
+		name, path, _ := strings.Cut(bind, "=")
+		m, err := loadMatrixCSV(path)
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", bind, err))
+		}
+		env[name] = dml.Matrix(m)
+	}
+
+	prog, err := dml.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if !*noOpt {
+		prog = prog.Optimize(dml.ShapesFromEnv(env))
+	}
+	if *explain {
+		fmt.Println("# optimized program:")
+		fmt.Println(prog)
+		fmt.Println("# ---")
+	}
+	val, stats, err := prog.Run(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(val)
+	fmt.Fprintf(os.Stderr, "# flops=%.3g cells=%d cse_hits=%d\n",
+		stats.Flops, stats.CellsAllocated, stats.CSEHits)
+}
+
+// loadMatrixCSV reads a headerless all-numeric CSV as a dense matrix.
+func loadMatrixCSV(path string) (*la.Dense, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	// Sniff the column count from the first line.
+	head := make([]byte, 64*1024)
+	n, _ := fh.Read(head)
+	first := string(head[:n])
+	if i := strings.IndexByte(first, '\n'); i >= 0 {
+		first = first[:i]
+	}
+	cols := len(strings.Split(strings.TrimSpace(first), ","))
+	if _, err := fh.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	fields := make([]storage.Field, cols)
+	for j := range fields {
+		fields[j] = storage.Field{Name: fmt.Sprintf("c%d", j), Type: storage.Float64}
+	}
+	schema, err := storage.NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := storage.ReadCSV(fh, schema, false)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, cols)
+	for j := range names {
+		names[j] = fields[j].Name
+	}
+	return storage.ToMatrix(tbl, names)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmml:", err)
+	os.Exit(1)
+}

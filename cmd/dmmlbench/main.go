@@ -1,0 +1,69 @@
+// Command dmmlbench regenerates every experiment in EXPERIMENTS.md and
+// prints the result tables.
+//
+// Usage:
+//
+//	dmmlbench              # run everything at full scale
+//	dmmlbench -quick       # 10x smaller workloads (CI-friendly)
+//	dmmlbench -exp E1,E5   # only the named experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmml/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at ~1/10 workload scale")
+	expList := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	fns := map[string]func(bool) (experiments.Table, error){
+		"E1":     experiments.E1FactorizedVsMaterialized,
+		"E2":     experiments.E2HamletRule,
+		"E3":     experiments.E3CompressionRatio,
+		"E4":     experiments.E4CompressedMV,
+		"E5":     experiments.E5Rewrites,
+		"E6":     experiments.E6BismarckParallel,
+		"E7":     experiments.E7ModelSearch,
+		"E8":     experiments.E8ColumbusReuse,
+		"E9":     experiments.E9ParamServer,
+		"E10":    experiments.E10SparseVsDense,
+		"E11":    experiments.E11BufferPool,
+		"E12":    experiments.E12ReuseAcrossCV,
+		"E13":    experiments.E13PlannerChoice,
+		"E-ABL1": experiments.EKMeansPruning,
+		"E-ABL2": experiments.EColumnCoCoding,
+	}
+
+	if *expList == "" {
+		// Stream tables as each experiment finishes.
+		for _, id := range experiments.Order {
+			t, err := fns[id](*quick)
+			fmt.Println(t)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmmlbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for _, id := range strings.Split(*expList, ",") {
+		id = strings.TrimSpace(id)
+		fn, ok := fns[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dmmlbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		t, err := fn(*quick)
+		fmt.Println(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmmlbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Model search scenario: hyperparameter tuning with bandit pruning and a
+// ModelDB-style registry.
+//
+// We sweep a 32-point grid of (step, l2) configs for a logistic-regression
+// SGD model, comparing exhaustive grid search against TuPAQ-style successive
+// halving, and record every run — dataset hash, config, metrics, lineage —
+// in a model registry that we then query and persist.
+//
+//	go run ./examples/model_search
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dmml/internal/modeldb"
+	"dmml/internal/modelsel"
+	"dmml/internal/workload"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(99))
+	n := 40000
+	x, y, _ := workload.Classification(r, n, 24, 0.05)
+	split := n * 3 / 4
+	trainIdx, valIdx := seq(0, split), seq(split, n)
+	trainer := &modelsel.SGDTrainer{
+		XTrain: x.SelectRows(trainIdx), YTrain: pick(y, trainIdx),
+		XVal: x.SelectRows(valIdx), YVal: pick(y, valIdx),
+		Seed: 5,
+	}
+	configs := modelsel.Grid(map[string][]float64{
+		"step": {0.001, 0.01, 0.05, 0.1, 0.5, 1, 2, 5},
+		"l2":   {0, 1e-4, 1e-2, 1e-1},
+	})
+	store := modeldb.NewStore()
+	dataHash := modeldb.DatasetHash(x, y)
+
+	// Exhaustive grid.
+	start := time.Now()
+	gridRes, gridStats, err := modelsel.EvaluateAll(trainer, configs, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gridTime := time.Since(start)
+
+	// Successive halving.
+	start = time.Now()
+	shRes, shStats, err := modelsel.SuccessiveHalving(trainer, configs, 1, 16, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shTime := time.Since(start)
+
+	fmt.Printf("grid:               best acc %.4f using %4d epochs in %v\n",
+		gridRes[0].Score, gridStats.TotalEpochs, gridTime.Round(time.Millisecond))
+	fmt.Printf("successive halving: best acc %.4f using %4d epochs in %v (%.1fx fewer epochs)\n",
+		shRes[0].Score, shStats.TotalEpochs, shTime.Round(time.Millisecond),
+		float64(gridStats.TotalEpochs)/float64(shStats.TotalEpochs))
+
+	// Log every evaluated config into the registry with lineage.
+	parent := -1
+	for i := len(shRes) - 1; i >= 0; i-- {
+		res := shRes[i]
+		run, err := store.Log(modeldb.Spec{
+			Name:        "churn-logistic",
+			DatasetHash: dataHash,
+			Transforms:  []string{"none"},
+			Config:      res.Config,
+			Metrics:     map[string]float64{"val_acc": res.Score, "epochs": float64(res.Epochs)},
+			ParentID:    parent,
+			Tags:        []string{"successive-halving"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		parent = run.ID
+	}
+
+	best, err := store.Best("churn-logistic", "val_acc", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nregistry: %d runs logged; best val_acc %.4f with config %v\n",
+		store.NumRuns(), best.Metrics["val_acc"], best.Config)
+	chain, err := store.Lineage(best.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lineage depth of best run: %d\n", len(chain))
+
+	survivors := store.Query(func(run modeldb.Run) bool {
+		return run.Metrics["epochs"] >= 16
+	})
+	fmt.Printf("configs that survived to the full budget: %d\n", len(survivors))
+
+	// Persist and reload the registry.
+	path := filepath.Join(os.TempDir(), "dmml-modeldb.json")
+	fh, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Save(fh); err != nil {
+		log.Fatal(err)
+	}
+	fh.Close()
+	fmt.Printf("registry saved to %s\n", path)
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func pick(xs []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Stream profiling scenario: one-pass sketches drive physical decisions.
+//
+// Before training, an ML-over-data system profiles its input: approximate
+// distinct counts tell the compression planner which columns will
+// dictionary-encode, heavy-hitter sketches find the dominant categories, and
+// streaming quantiles calibrate binning — all in a single pass with bounded
+// memory. This example profiles a synthetic click log, compares the sketch
+// estimates against exact answers, and shows the profile agreeing with the
+// CLA planner's actual encoding choices.
+//
+//	go run ./examples/stream_profiling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"dmml/internal/compress"
+	"dmml/internal/la"
+	"dmml/internal/sketch"
+	"dmml/internal/workload"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(31))
+	n := 400000
+
+	// A click log: page id (Zipf, high card), campaign (low card),
+	// latency ms (continuous).
+	pages := workload.ZipfColumn(r, n, 20000, 1.3)
+	campaigns := workload.ZipfColumn(r, n, 12, 0.8)
+	latency := make([]float64, n)
+	for i := range latency {
+		latency[i] = 20 + r.ExpFloat64()*35
+	}
+
+	cols := map[string][]float64{
+		"page_id":    pages,
+		"campaign":   campaigns,
+		"latency_ms": latency,
+	}
+	names := []string{"page_id", "campaign", "latency_ms"}
+
+	fmt.Println("one-pass column profiles (sketch vs exact):")
+	for _, name := range names {
+		col := cols[name]
+		p, err := sketch.Profile(col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exactDistinct := exactCard(col)
+		exactMedian := exactQuantile(col, 0.5)
+		fmt.Printf("  %-10s  distinct ≈ %8.0f (exact %6d)   median ≈ %7.2f (exact %7.2f)   mean %7.2f ± %.2f\n",
+			name, p.ApproxDistinct, exactDistinct, p.ApproxMedian, exactMedian, p.Mean, p.Std)
+	}
+
+	// Heavy hitters on the campaign column with a Count-Min sketch.
+	cm, err := sketch.NewCountMin(0.001, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range campaigns {
+		cm.Add(fmt.Sprint(int(v)), 1)
+	}
+	fmt.Printf("\ncount-min sketch (%d KB) campaign frequencies:\n", cm.SizeBytes()/1024)
+	for c := 0; c < 3; c++ {
+		fmt.Printf("  campaign %d ≈ %d clicks\n", c, cm.Estimate(fmt.Sprint(c)))
+	}
+
+	// The profile predicts compressibility; confirm with the CLA planner.
+	m := la.NewDense(n, 3)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, pages[i])
+		m.Set(i, 1, campaigns[i])
+		m.Set(i, 2, latency[i])
+	}
+	cmpr := compress.Compress(m, compress.Options{})
+	fmt.Printf("\nCLA planner encodings (profile said: page_id medium-card, campaign low-card, latency continuous):\n")
+	fmt.Printf("  groups: %v\n", cmpr.GroupInfo())
+	fmt.Printf("  overall ratio: %.1fx (%.1f MB → %.1f MB)\n",
+		cmpr.CompressionRatio(),
+		float64(cmpr.DenseSizeBytes())/1e6, float64(cmpr.SizeBytes())/1e6)
+}
+
+func exactCard(col []float64) int {
+	seen := map[float64]struct{}{}
+	for _, v := range col {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+func exactQuantile(col []float64, p float64) float64 {
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	return sorted[int(p*float64(len(sorted)))]
+}

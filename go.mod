@@ -1,0 +1,3 @@
+module dmml
+
+go 1.22

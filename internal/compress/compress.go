@@ -1,0 +1,467 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+
+	"dmml/internal/la"
+)
+
+// Encoding identifies a physical column encoding for forcing/tuning.
+type Encoding int
+
+// Encoding values. Auto lets the planner choose per column.
+const (
+	Auto Encoding = iota
+	ForceDDC
+	ForceOLE
+	ForceRLE
+	ForceUC
+)
+
+// Options tunes the compression planner.
+type Options struct {
+	// Force overrides the per-column encoding choice (Auto = cost-based).
+	Force Encoding
+	// CoCode enables greedy pairwise column co-coding of low-cardinality
+	// columns, as in CLA's column group partitioning.
+	CoCode bool
+	// MaxDDCCard caps the dictionary size for DDC (default 65536).
+	MaxDDCCard int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDDCCard <= 0 {
+		o.MaxDDCCard = 1 << 16
+	}
+	return o
+}
+
+// Matrix is a compressed matrix: a set of column groups jointly covering all
+// columns. All read ops match the semantics of the equivalent la.Dense ops.
+type Matrix struct {
+	rows, cols int
+	groups     []Group
+}
+
+// Dims returns the logical matrix dimensions.
+func (c *Matrix) Dims() (rows, cols int) { return c.rows, c.cols }
+
+// Rows returns the number of rows.
+func (c *Matrix) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *Matrix) Cols() int { return c.cols }
+
+// Groups returns the column groups (read-only use expected).
+func (c *Matrix) Groups() []Group { return c.groups }
+
+// GroupInfo returns a human-readable encoding summary, sorted for stability.
+func (c *Matrix) GroupInfo() []string {
+	out := make([]string, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = describeGroup(g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatVec returns X·v over the compressed representation.
+func (c *Matrix) MatVec(v []float64) []float64 {
+	if len(v) != c.cols {
+		panic(fmt.Sprintf("compress: MatVec %dx%d × len %d", c.rows, c.cols, len(v)))
+	}
+	out := make([]float64, c.rows)
+	for _, g := range c.groups {
+		g.MatVecAccum(out, v)
+	}
+	return out
+}
+
+// VecMat returns xᵀ·X over the compressed representation.
+func (c *Matrix) VecMat(x []float64) []float64 {
+	if len(x) != c.rows {
+		panic(fmt.Sprintf("compress: VecMat len %d × %dx%d", len(x), c.rows, c.cols))
+	}
+	out := make([]float64, c.cols)
+	for _, g := range c.groups {
+		g.VecMatAccum(out, x)
+	}
+	return out
+}
+
+// ColSums returns per-column sums.
+func (c *Matrix) ColSums() []float64 {
+	out := make([]float64, c.cols)
+	for _, g := range c.groups {
+		g.ColSumsAccum(out)
+	}
+	return out
+}
+
+// ColSumSq returns per-column sums of squares.
+func (c *Matrix) ColSumSq() []float64 {
+	out := make([]float64, c.cols)
+	for _, g := range c.groups {
+		g.ColSumSqAccum(out)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (c *Matrix) Sum() float64 { return la.SumVec(c.ColSums()) }
+
+// SumSq returns the squared Frobenius norm.
+func (c *Matrix) SumSq() float64 { return la.SumVec(c.ColSumSq()) }
+
+// Scale multiplies all elements by s. For dictionary encodings this touches
+// only the (small) dictionaries — the CLA argument for cheap scalar ops.
+func (c *Matrix) Scale(s float64) {
+	for _, g := range c.groups {
+		g.Scale(s)
+	}
+}
+
+// Decompress materializes the dense equivalent.
+func (c *Matrix) Decompress() *la.Dense {
+	m := la.NewDense(c.rows, c.cols)
+	for _, g := range c.groups {
+		g.DecompressInto(m)
+	}
+	return m
+}
+
+// SizeBytes estimates the compressed footprint.
+func (c *Matrix) SizeBytes() int {
+	n := 0
+	for _, g := range c.groups {
+		n += g.SizeBytes()
+	}
+	return n
+}
+
+// DenseSizeBytes is the footprint of the uncompressed equivalent.
+func (c *Matrix) DenseSizeBytes() int { return 8 * c.rows * c.cols }
+
+// CompressionRatio returns dense bytes / compressed bytes.
+func (c *Matrix) CompressionRatio() float64 {
+	return float64(c.DenseSizeBytes()) / float64(c.SizeBytes())
+}
+
+// colStats holds exact per-column statistics driving the encoding choice.
+type colStats struct {
+	card    int // distinct values including zero if present
+	nzCard  int // distinct non-zero values
+	nzRows  int // rows with non-zero value
+	nzRuns  int // maximal runs of equal non-zero values
+	rows    int
+	isConst bool
+}
+
+func computeColStats(col []float64) colStats {
+	st := colStats{rows: len(col)}
+	distinct := make(map[float64]struct{})
+	prev, inRun := 0.0, false
+	for _, v := range col {
+		distinct[v] = struct{}{}
+		if v != 0 {
+			st.nzRows++
+			if !inRun || v != prev {
+				st.nzRuns++
+			}
+			inRun = true
+		} else {
+			inRun = false
+		}
+		prev = v
+	}
+	st.card = len(distinct)
+	if _, hasZero := distinct[0]; hasZero {
+		st.nzCard = st.card - 1
+	} else {
+		st.nzCard = st.card
+	}
+	st.isConst = st.card == 1
+	return st
+}
+
+// Size estimates (bytes) per encoding, mirroring CLA's compression planning.
+func (st colStats) ddcSize(maxCard int) (int, bool) {
+	if st.card > maxCard {
+		return 0, false
+	}
+	codeBytes := 1
+	if st.card > 256 {
+		codeBytes = 2
+	}
+	return st.rows*codeBytes + st.card*8, true
+}
+
+func (st colStats) oleSize() int { return st.nzCard*8 + st.nzRows*4 }
+
+func (st colStats) rleSize() int { return st.nzCard*8 + st.nzRuns*8 }
+
+func (st colStats) ucSize() int { return st.rows * 8 }
+
+// Compress builds a compressed Matrix from a dense one using exact column
+// statistics and a minimum-size encoding choice per column (optionally with
+// pairwise co-coding).
+func Compress(m *la.Dense, opts Options) *Matrix {
+	opts = opts.withDefaults()
+	rows, cols := m.Dims()
+	c := &Matrix{rows: rows, cols: cols}
+
+	columns := make([][]float64, cols)
+	stats := make([]colStats, cols)
+	for j := 0; j < cols; j++ {
+		columns[j] = m.Col(j)
+		stats[j] = computeColStats(columns[j])
+	}
+
+	chosen := make([]Encoding, cols)
+	for j := 0; j < cols; j++ {
+		chosen[j] = chooseEncoding(stats[j], opts)
+	}
+
+	used := make([]bool, cols)
+	if opts.CoCode {
+		// Greedy pairwise co-coding of DDC columns: merge a pair when the
+		// combined DDC size beats the sum of the separate sizes.
+		for a := 0; a < cols; a++ {
+			if used[a] || chosen[a] != ForceDDC {
+				continue
+			}
+			bestB, bestGain := -1, 0
+			sizeA, _ := stats[a].ddcSize(opts.MaxDDCCard)
+			for b := a + 1; b < cols; b++ {
+				if used[b] || chosen[b] != ForceDDC {
+					continue
+				}
+				sizeB, _ := stats[b].ddcSize(opts.MaxDDCCard)
+				jointCard := jointCardinality(columns[a], columns[b])
+				if jointCard > opts.MaxDDCCard {
+					continue
+				}
+				codeBytes := 1
+				if jointCard > 256 {
+					codeBytes = 2
+				}
+				jointSize := rows*codeBytes + jointCard*16
+				if gain := sizeA + sizeB - jointSize; gain > bestGain {
+					bestGain, bestB = gain, b
+				}
+			}
+			if bestB >= 0 {
+				c.groups = append(c.groups, buildDDC([]int{a, bestB}, [][]float64{columns[a], columns[bestB]}))
+				used[a], used[bestB] = true, true
+			}
+		}
+	}
+
+	for j := 0; j < cols; j++ {
+		if used[j] {
+			continue
+		}
+		c.groups = append(c.groups, buildGroup(j, columns[j], chosen[j]))
+	}
+	return c
+}
+
+func chooseEncoding(st colStats, opts Options) Encoding {
+	if opts.Force != Auto {
+		if opts.Force == ForceDDC {
+			if _, ok := st.ddcSize(opts.MaxDDCCard); !ok {
+				return ForceUC
+			}
+		}
+		return opts.Force
+	}
+	best, bestSize := ForceUC, st.ucSize()
+	if s, ok := st.ddcSize(opts.MaxDDCCard); ok && s < bestSize {
+		best, bestSize = ForceDDC, s
+	}
+	if s := st.oleSize(); s < bestSize {
+		best, bestSize = ForceOLE, s
+	}
+	if s := st.rleSize(); s < bestSize {
+		best = ForceRLE
+	}
+	return best
+}
+
+func jointCardinality(a, b []float64) int {
+	seen := make(map[[2]float64]struct{})
+	for i := range a {
+		seen[[2]float64{a[i], b[i]}] = struct{}{}
+	}
+	return len(seen)
+}
+
+func buildGroup(col int, data []float64, enc Encoding) Group {
+	switch enc {
+	case ForceDDC:
+		return buildDDC([]int{col}, [][]float64{data})
+	case ForceOLE:
+		return buildOLE(col, data)
+	case ForceRLE:
+		return buildRLE(col, data)
+	default:
+		return &UCGroup{col: col, data: la.CloneVec(data)}
+	}
+}
+
+func buildDDC(cols []int, data [][]float64) *DDCGroup {
+	rows := len(data[0])
+	w := len(cols)
+	type key = string
+	// Dictionary keyed on the raw tuple bytes via fmt is slow; use a map on
+	// a small struct for w<=2 and fall back to index probing otherwise.
+	idx := make(map[key]int)
+	var vals []float64
+	codes := make([]uint16, rows)
+	buf := make([]byte, 0, w*8)
+	for i := 0; i < rows; i++ {
+		buf = buf[:0]
+		for j := 0; j < w; j++ {
+			buf = appendFloatKey(buf, data[j][i])
+		}
+		k := string(buf)
+		t, ok := idx[k]
+		if !ok {
+			t = len(idx)
+			idx[k] = t
+			for j := 0; j < w; j++ {
+				vals = append(vals, data[j][i])
+			}
+		}
+		codes[i] = uint16(t)
+	}
+	g := &DDCGroup{d: dict{cols: append([]int(nil), cols...), vals: vals}, rows: rows}
+	if len(idx) <= 256 {
+		g.codes8 = make([]uint8, rows)
+		for i, c := range codes {
+			g.codes8[i] = uint8(c)
+		}
+	} else {
+		g.codes = codes
+	}
+	return g
+}
+
+func appendFloatKey(buf []byte, v float64) []byte {
+	// Bit pattern as key; distinguishes -0 from +0 and all NaN payloads,
+	// which is acceptable for dictionary purposes.
+	u := floatBits(v)
+	return append(buf,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func buildOLE(col int, data []float64) *OLEGroup {
+	idx := make(map[float64]int)
+	var vals []float64
+	var offsets [][]int32
+	for i, v := range data {
+		if v == 0 {
+			continue
+		}
+		t, ok := idx[v]
+		if !ok {
+			t = len(idx)
+			idx[v] = t
+			vals = append(vals, v)
+			offsets = append(offsets, nil)
+		}
+		offsets[t] = append(offsets[t], int32(i))
+	}
+	return &OLEGroup{
+		d:       dict{cols: []int{col}, vals: vals},
+		offsets: offsets,
+		rows:    len(data),
+	}
+}
+
+func buildRLE(col int, data []float64) *RLEGroup {
+	idx := make(map[float64]int)
+	var vals []float64
+	var runs [][]int32
+	i := 0
+	for i < len(data) {
+		v := data[i]
+		j := i + 1
+		for j < len(data) && data[j] == v {
+			j++
+		}
+		if v != 0 {
+			t, ok := idx[v]
+			if !ok {
+				t = len(idx)
+				idx[v] = t
+				vals = append(vals, v)
+				runs = append(runs, nil)
+			}
+			runs[t] = append(runs[t], int32(i), int32(j-i))
+		}
+		i = j
+	}
+	return &RLEGroup{
+		d:    dict{cols: []int{col}, vals: vals},
+		runs: runs,
+		rows: len(data),
+	}
+}
+
+// MatMulDense returns X·W for a dense right operand, computed column-by-
+// column over the compressed groups (each column is one compressed
+// matrix–vector product).
+func (c *Matrix) MatMulDense(w *la.Dense) (*la.Dense, error) {
+	rows, k := w.Dims()
+	if rows != c.cols {
+		return nil, fmt.Errorf("compress: MatMulDense %dx%d × %dx%d", c.rows, c.cols, rows, k)
+	}
+	out := la.NewDense(c.rows, k)
+	for j := 0; j < k; j++ {
+		col := c.MatVec(w.Col(j))
+		for i, v := range col {
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}
+
+// Col materializes one column as a dense vector. Groups not covering the
+// column are skipped, so the cost is proportional to that column's group.
+func (c *Matrix) Col(j int) ([]float64, error) {
+	if j < 0 || j >= c.cols {
+		return nil, fmt.Errorf("compress: column %d out of range for %d cols", j, c.cols)
+	}
+	ej := make([]float64, c.cols)
+	ej[j] = 1
+	out := make([]float64, c.rows)
+	for _, g := range c.groups {
+		for _, gc := range g.Cols() {
+			if gc == j {
+				g.MatVecAccum(out, ej)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Gram computes XᵀX directly over the compressed representation (CLA's
+// transpose-self matrix multiply): one column materialization plus one
+// compressed vector–matrix product per column, never decompressing the whole
+// matrix.
+func (c *Matrix) Gram() *la.Dense {
+	out := la.NewDense(c.cols, c.cols)
+	for j := 0; j < c.cols; j++ {
+		col, err := c.Col(j)
+		if err != nil {
+			panic(err) // unreachable: j is in range by construction
+		}
+		row := c.VecMat(col)
+		copy(out.RowView(j), row)
+	}
+	return out
+}

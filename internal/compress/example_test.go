@@ -1,0 +1,26 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"dmml/internal/compress"
+	"dmml/internal/la"
+)
+
+// Compressing a categorical column and operating on it without
+// decompression.
+func ExampleCompress() {
+	// A 12-row categorical column with 3 distinct values.
+	m := la.NewDense(12, 1)
+	for i := 0; i < 12; i++ {
+		m.Set(i, 0, float64(i%3))
+	}
+	cm := compress.Compress(m, compress.Options{})
+	fmt.Println("encoding:", cm.Groups()[0].Encoding())
+	fmt.Println("sum over compressed:", cm.Sum())
+	fmt.Println("matches dense:", cm.Sum() == m.Sum())
+	// Output:
+	// encoding: DDC1
+	// sum over compressed: 12
+	// matches dense: true
+}

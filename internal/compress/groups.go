@@ -1,0 +1,488 @@
+// Package compress implements compressed linear algebra (CLA) in the style
+// surveyed by the paper (Elgohary et al., SystemML's CLA): columns are
+// grouped, each group stores a dictionary of distinct value tuples and a
+// compressed representation of which rows hold which tuple, and linear
+// algebra ops (matrix–vector, vector–matrix, aggregates) execute directly on
+// the compressed form without decompression.
+//
+// Encodings:
+//   - DDC (dense dictionary coding): one code per row (1 or 2 bytes).
+//   - OLE (offset-list encoding): per dictionary entry, the sorted list of
+//     row offsets holding it.
+//   - RLE (run-length encoding): per dictionary entry, sorted (start,len)
+//     runs of rows holding it.
+//   - UC (uncompressed column): plain float64 column, the fallback.
+package compress
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+)
+
+// Group is one compressed column group: a set of columns co-coded together.
+// All accumulate ops are additive so a Matrix can sum contributions across
+// its groups.
+type Group interface {
+	// Cols returns the original column indices covered by this group.
+	Cols() []int
+	// Encoding names the physical encoding, for diagnostics.
+	Encoding() string
+	// MatVecAccum adds, for every row i, Σ_j X[i,j]·v[j] (j over Cols) into out[i].
+	MatVecAccum(out, v []float64)
+	// VecMatAccum adds, for every column j in Cols, Σ_i x[i]·X[i,j] into out[j].
+	VecMatAccum(out, x []float64)
+	// ColSumsAccum adds per-column sums into out (indexed by original column).
+	ColSumsAccum(out []float64)
+	// ColSumSqAccum adds per-column sums of squares into out.
+	ColSumSqAccum(out []float64)
+	// DecompressInto writes the group's columns into m.
+	DecompressInto(m *la.Dense)
+	// SizeBytes estimates the in-memory footprint of the compressed form.
+	SizeBytes() int
+	// Scale multiplies all values by s (a dictionary-only operation for the
+	// dictionary encodings — the CLA selling point for scalar ops).
+	Scale(s float64)
+}
+
+// dict is a tuple dictionary: entry t covers len(cols) values.
+type dict struct {
+	cols []int     // original column indices
+	vals []float64 // len = numEntries * len(cols), row-major by entry
+}
+
+func (d *dict) numEntries() int { return len(d.vals) / len(d.cols) }
+
+func (d *dict) entry(t int) []float64 {
+	w := len(d.cols)
+	return d.vals[t*w : (t+1)*w]
+}
+
+// premul computes, per dictionary entry, Σ_j entry[j]·v[cols[j]].
+func (d *dict) premul(v []float64) []float64 {
+	w := len(d.cols)
+	out := make([]float64, d.numEntries())
+	for t := range out {
+		e := d.entry(t)
+		var s float64
+		for j := 0; j < w; j++ {
+			s += e[j] * v[d.cols[j]]
+		}
+		out[t] = s
+	}
+	return out
+}
+
+func (d *dict) scale(s float64) {
+	for i := range d.vals {
+		d.vals[i] *= s
+	}
+}
+
+func (d *dict) sizeBytes() int { return 8*len(d.vals) + 8*len(d.cols) }
+
+// --- DDC ------------------------------------------------------------------
+
+// DDCGroup stores one dictionary code per row. Codes are 1 byte when the
+// dictionary has ≤256 entries (DDC1) and 2 bytes otherwise (DDC2).
+type DDCGroup struct {
+	d      dict
+	codes8 []uint8  // non-nil iff DDC1
+	codes  []uint16 // non-nil iff DDC2
+	rows   int
+}
+
+// Cols implements Group.
+func (g *DDCGroup) Cols() []int { return g.d.cols }
+
+// Encoding implements Group.
+func (g *DDCGroup) Encoding() string {
+	if g.codes8 != nil {
+		return "DDC1"
+	}
+	return "DDC2"
+}
+
+// MatVecAccum implements Group.
+func (g *DDCGroup) MatVecAccum(out, v []float64) {
+	pre := g.d.premul(v)
+	if g.codes8 != nil {
+		for i, c := range g.codes8 {
+			out[i] += pre[c]
+		}
+		return
+	}
+	for i, c := range g.codes {
+		out[i] += pre[c]
+	}
+}
+
+// VecMatAccum implements Group.
+func (g *DDCGroup) VecMatAccum(out, x []float64) {
+	acc := make([]float64, g.d.numEntries())
+	if g.codes8 != nil {
+		for i, c := range g.codes8 {
+			acc[c] += x[i]
+		}
+	} else {
+		for i, c := range g.codes {
+			acc[c] += x[i]
+		}
+	}
+	g.scatterWeighted(out, acc)
+}
+
+func (g *DDCGroup) scatterWeighted(out, weightPerEntry []float64) {
+	w := len(g.d.cols)
+	for t, wt := range weightPerEntry {
+		if wt == 0 {
+			continue
+		}
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += wt * e[j]
+		}
+	}
+}
+
+func (g *DDCGroup) entryCounts() []float64 {
+	counts := make([]float64, g.d.numEntries())
+	if g.codes8 != nil {
+		for _, c := range g.codes8 {
+			counts[c]++
+		}
+	} else {
+		for _, c := range g.codes {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+// ColSumsAccum implements Group.
+func (g *DDCGroup) ColSumsAccum(out []float64) { g.scatterWeighted(out, g.entryCounts()) }
+
+// ColSumSqAccum implements Group.
+func (g *DDCGroup) ColSumSqAccum(out []float64) {
+	counts := g.entryCounts()
+	w := len(g.d.cols)
+	for t, n := range counts {
+		if n == 0 {
+			continue
+		}
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += n * e[j] * e[j]
+		}
+	}
+}
+
+// DecompressInto implements Group.
+func (g *DDCGroup) DecompressInto(m *la.Dense) {
+	w := len(g.d.cols)
+	write := func(i, t int) {
+		e := g.d.entry(t)
+		row := m.RowView(i)
+		for j := 0; j < w; j++ {
+			row[g.d.cols[j]] = e[j]
+		}
+	}
+	if g.codes8 != nil {
+		for i, c := range g.codes8 {
+			write(i, int(c))
+		}
+		return
+	}
+	for i, c := range g.codes {
+		write(i, int(c))
+	}
+}
+
+// SizeBytes implements Group.
+func (g *DDCGroup) SizeBytes() int {
+	n := g.d.sizeBytes()
+	if g.codes8 != nil {
+		return n + len(g.codes8)
+	}
+	return n + 2*len(g.codes)
+}
+
+// Scale implements Group.
+func (g *DDCGroup) Scale(s float64) { g.d.scale(s) }
+
+// --- OLE ------------------------------------------------------------------
+
+// OLEGroup stores, for each dictionary entry, the sorted offsets of rows
+// holding it. Rows not covered by any entry implicitly hold zero in all of
+// the group's columns, so OLE is the natural encoding for sparse columns.
+type OLEGroup struct {
+	d       dict
+	offsets [][]int32 // per entry, sorted row ids
+	rows    int
+}
+
+// Cols implements Group.
+func (g *OLEGroup) Cols() []int { return g.d.cols }
+
+// Encoding implements Group.
+func (g *OLEGroup) Encoding() string { return "OLE" }
+
+// MatVecAccum implements Group.
+func (g *OLEGroup) MatVecAccum(out, v []float64) {
+	pre := g.d.premul(v)
+	for t, offs := range g.offsets {
+		p := pre[t]
+		if p == 0 {
+			continue
+		}
+		for _, i := range offs {
+			out[i] += p
+		}
+	}
+}
+
+// VecMatAccum implements Group.
+func (g *OLEGroup) VecMatAccum(out, x []float64) {
+	w := len(g.d.cols)
+	for t, offs := range g.offsets {
+		var s float64
+		for _, i := range offs {
+			s += x[i]
+		}
+		if s == 0 {
+			continue
+		}
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += s * e[j]
+		}
+	}
+}
+
+// ColSumsAccum implements Group.
+func (g *OLEGroup) ColSumsAccum(out []float64) {
+	w := len(g.d.cols)
+	for t, offs := range g.offsets {
+		n := float64(len(offs))
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += n * e[j]
+		}
+	}
+}
+
+// ColSumSqAccum implements Group.
+func (g *OLEGroup) ColSumSqAccum(out []float64) {
+	w := len(g.d.cols)
+	for t, offs := range g.offsets {
+		n := float64(len(offs))
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += n * e[j] * e[j]
+		}
+	}
+}
+
+// DecompressInto implements Group.
+func (g *OLEGroup) DecompressInto(m *la.Dense) {
+	w := len(g.d.cols)
+	for t, offs := range g.offsets {
+		e := g.d.entry(t)
+		for _, i := range offs {
+			row := m.RowView(int(i))
+			for j := 0; j < w; j++ {
+				row[g.d.cols[j]] = e[j]
+			}
+		}
+	}
+}
+
+// SizeBytes implements Group.
+func (g *OLEGroup) SizeBytes() int {
+	n := g.d.sizeBytes()
+	for _, offs := range g.offsets {
+		n += 4 * len(offs)
+	}
+	return n
+}
+
+// Scale implements Group.
+func (g *OLEGroup) Scale(s float64) { g.d.scale(s) }
+
+// --- RLE ------------------------------------------------------------------
+
+// RLEGroup stores, for each dictionary entry, sorted (start, length) runs of
+// rows holding it. Rows covered by no run hold zero.
+type RLEGroup struct {
+	d    dict
+	runs [][]int32 // per entry, flattened [start0,len0,start1,len1,...]
+	rows int
+}
+
+// Cols implements Group.
+func (g *RLEGroup) Cols() []int { return g.d.cols }
+
+// Encoding implements Group.
+func (g *RLEGroup) Encoding() string { return "RLE" }
+
+// MatVecAccum implements Group.
+func (g *RLEGroup) MatVecAccum(out, v []float64) {
+	pre := g.d.premul(v)
+	for t, rs := range g.runs {
+		p := pre[t]
+		if p == 0 {
+			continue
+		}
+		for k := 0; k < len(rs); k += 2 {
+			start, length := int(rs[k]), int(rs[k+1])
+			for i := start; i < start+length; i++ {
+				out[i] += p
+			}
+		}
+	}
+}
+
+// VecMatAccum implements Group.
+func (g *RLEGroup) VecMatAccum(out, x []float64) {
+	w := len(g.d.cols)
+	for t, rs := range g.runs {
+		var s float64
+		for k := 0; k < len(rs); k += 2 {
+			start, length := int(rs[k]), int(rs[k+1])
+			for i := start; i < start+length; i++ {
+				s += x[i]
+			}
+		}
+		if s == 0 {
+			continue
+		}
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += s * e[j]
+		}
+	}
+}
+
+func (g *RLEGroup) entryCounts() []float64 {
+	counts := make([]float64, g.d.numEntries())
+	for t, rs := range g.runs {
+		var n int32
+		for k := 1; k < len(rs); k += 2 {
+			n += rs[k]
+		}
+		counts[t] = float64(n)
+	}
+	return counts
+}
+
+// ColSumsAccum implements Group.
+func (g *RLEGroup) ColSumsAccum(out []float64) {
+	w := len(g.d.cols)
+	counts := g.entryCounts()
+	for t, n := range counts {
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += n * e[j]
+		}
+	}
+}
+
+// ColSumSqAccum implements Group.
+func (g *RLEGroup) ColSumSqAccum(out []float64) {
+	w := len(g.d.cols)
+	counts := g.entryCounts()
+	for t, n := range counts {
+		e := g.d.entry(t)
+		for j := 0; j < w; j++ {
+			out[g.d.cols[j]] += n * e[j] * e[j]
+		}
+	}
+}
+
+// DecompressInto implements Group.
+func (g *RLEGroup) DecompressInto(m *la.Dense) {
+	w := len(g.d.cols)
+	for t, rs := range g.runs {
+		e := g.d.entry(t)
+		for k := 0; k < len(rs); k += 2 {
+			start, length := int(rs[k]), int(rs[k+1])
+			for i := start; i < start+length; i++ {
+				row := m.RowView(i)
+				for j := 0; j < w; j++ {
+					row[g.d.cols[j]] = e[j]
+				}
+			}
+		}
+	}
+}
+
+// SizeBytes implements Group.
+func (g *RLEGroup) SizeBytes() int {
+	n := g.d.sizeBytes()
+	for _, rs := range g.runs {
+		n += 4 * len(rs)
+	}
+	return n
+}
+
+// Scale implements Group.
+func (g *RLEGroup) Scale(s float64) { g.d.scale(s) }
+
+// --- UC -------------------------------------------------------------------
+
+// UCGroup is an uncompressed single column, the fallback when no dictionary
+// encoding pays off (e.g. continuous unique values).
+type UCGroup struct {
+	col  int
+	data []float64
+}
+
+// Cols implements Group.
+func (g *UCGroup) Cols() []int { return []int{g.col} }
+
+// Encoding implements Group.
+func (g *UCGroup) Encoding() string { return "UC" }
+
+// MatVecAccum implements Group.
+func (g *UCGroup) MatVecAccum(out, v []float64) {
+	vj := v[g.col]
+	if vj == 0 {
+		return
+	}
+	la.Axpy(vj, g.data, out)
+}
+
+// VecMatAccum implements Group.
+func (g *UCGroup) VecMatAccum(out, x []float64) {
+	out[g.col] += la.Dot(x, g.data)
+}
+
+// ColSumsAccum implements Group.
+func (g *UCGroup) ColSumsAccum(out []float64) { out[g.col] += la.SumVec(g.data) }
+
+// ColSumSqAccum implements Group.
+func (g *UCGroup) ColSumSqAccum(out []float64) { out[g.col] += la.Dot(g.data, g.data) }
+
+// DecompressInto implements Group.
+func (g *UCGroup) DecompressInto(m *la.Dense) {
+	for i, v := range g.data {
+		m.Set(i, g.col, v)
+	}
+}
+
+// SizeBytes implements Group.
+func (g *UCGroup) SizeBytes() int { return 8 * len(g.data) }
+
+// Scale implements Group.
+func (g *UCGroup) Scale(s float64) { la.ScaleVec(s, g.data) }
+
+var (
+	_ Group = (*DDCGroup)(nil)
+	_ Group = (*OLEGroup)(nil)
+	_ Group = (*RLEGroup)(nil)
+	_ Group = (*UCGroup)(nil)
+)
+
+func describeGroup(g Group) string {
+	return fmt.Sprintf("%s%v", g.Encoding(), g.Cols())
+}

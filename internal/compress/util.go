@@ -1,0 +1,5 @@
+package compress
+
+import "math"
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }

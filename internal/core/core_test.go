@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmml/internal/factorized"
+	"dmml/internal/la"
+	"dmml/internal/workload"
+)
+
+func starDesign(t *testing.T, seed int64, factRows, dimRows int) (*factorized.Design, []float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s, err := workload.GenerateStar(r, workload.StarConfig{
+		FactRows:  factRows,
+		FactFeats: 4,
+		DimRows:   []int{dimRows},
+		DimFeats:  []int{6},
+		Task:      workload.RegressionTask,
+		Noise:     0.05,
+		DimSignal: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := factorized.NewDesign(s.FactX, s.FKs, s.DimX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s.Y
+}
+
+func TestTrainNormalizedPicksFactorizedAtHighTupleRatio(t *testing.T) {
+	d, y := starDesign(t, 180, 20000, 50) // TR = 400
+	res, err := TrainNormalized(d, y, Task{Loss: SquaredLoss, L2: 0.01}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "factorized") {
+		t.Fatalf("plan = %s\n%s", res.Plan, ExplainString(res.Explain))
+	}
+	if res.FinalLoss > 0.1 {
+		t.Fatalf("final loss = %v", res.FinalLoss)
+	}
+}
+
+func TestTrainNormalizedPicksMaterializedAtLowTupleRatio(t *testing.T) {
+	d, y := starDesign(t, 181, 200, 4000) // TR = 0.05: dims dominate
+	res, err := TrainNormalized(d, y, Task{Loss: LogisticLoss, MaxIter: 30}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "materialized") {
+		t.Fatalf("plan = %s\n%s", res.Plan, ExplainString(res.Explain))
+	}
+}
+
+func TestAllNormalizedPlansAgree(t *testing.T) {
+	d, y := starDesign(t, 182, 1500, 60)
+	task := Task{Loss: SquaredLoss, L2: 0.1, MaxIter: 60}
+	var ws [][]float64
+	for _, plan := range []string{"factorized+direct", "materialized+direct"} {
+		res, err := TrainNormalized(d, y, task, Options{ForcePlan: plan})
+		if err != nil {
+			t.Fatalf("%s: %v", plan, err)
+		}
+		if res.Plan != plan {
+			t.Fatalf("forced plan %s, got %s", plan, res.Plan)
+		}
+		ws = append(ws, res.W)
+	}
+	for j := range ws[0] {
+		if math.Abs(ws[0][j]-ws[1][j]) > 1e-7 {
+			t.Fatalf("direct plans disagree at %d: %v vs %v", j, ws[0][j], ws[1][j])
+		}
+	}
+	// Iterative plans agree with each other too.
+	ws = nil
+	for _, plan := range []string{"factorized+iterative", "materialized+iterative"} {
+		res, err := TrainNormalized(d, y, task, Options{ForcePlan: plan})
+		if err != nil {
+			t.Fatalf("%s: %v", plan, err)
+		}
+		ws = append(ws, res.W)
+	}
+	for j := range ws[0] {
+		if math.Abs(ws[0][j]-ws[1][j]) > 1e-7 {
+			t.Fatalf("iterative plans disagree at %d", j)
+		}
+	}
+}
+
+func TestLogisticExcludesDirectPlans(t *testing.T) {
+	d, y := starDesign(t, 183, 500, 25)
+	// Make labels ±1.
+	for i := range y {
+		if y[i] >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	res, err := TrainNormalized(d, y, Task{Loss: LogisticLoss, MaxIter: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Explain {
+		if strings.HasSuffix(p.Name, "direct") {
+			t.Fatalf("direct plan offered for logistic loss: %+v", p)
+		}
+	}
+}
+
+func TestTrainJoinedDirectForSquared(t *testing.T) {
+	r := rand.New(rand.NewSource(184))
+	x, y, wTrue := workload.Regression(r, 3000, 8, 0.05)
+	res, err := TrainJoined(x, y, Task{Loss: SquaredLoss, L2: 1e-6, MaxIter: 200}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n·d² ≪ iters·4·n·d here? n·d²=192k vs 200·4·n·d=19.2M → direct wins.
+	if res.Plan != "dense+direct" {
+		t.Fatalf("plan = %s\n%s", res.Plan, ExplainString(res.Explain))
+	}
+	for j := range wTrue {
+		if math.Abs(res.W[j]-wTrue[j]) > 0.05 {
+			t.Fatalf("w[%d] = %v, true %v", j, res.W[j], wTrue[j])
+		}
+	}
+}
+
+func TestTrainJoinedCompressedUnderMemoryPressure(t *testing.T) {
+	// Highly compressible categorical data + a memory budget far below the
+	// dense footprint: the planner must pick the compressed plan.
+	r := rand.New(rand.NewSource(185))
+	n := 5000
+	x := workload.TelemetryMatrix(r, n, []int{4, 6, 3, 8}, 1.2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if x.At(i, 0) == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	res, err := TrainJoined(x, y, Task{Loss: LogisticLoss, MaxIter: 40},
+		Options{MemBudgetBytes: int64(8 * n)}) // budget = 1/4 of dense
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != "compressed+iterative" {
+		t.Fatalf("plan = %s\n%s", res.Plan, ExplainString(res.Explain))
+	}
+	// And the compressed execution must match the dense execution.
+	dense, err := TrainJoined(x, y, Task{Loss: LogisticLoss, MaxIter: 40},
+		Options{ForcePlan: "dense+iterative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res.W {
+		if math.Abs(res.W[j]-dense.W[j]) > 1e-6 {
+			t.Fatalf("compressed vs dense weights differ at %d: %v vs %v", j, res.W[j], dense.W[j])
+		}
+	}
+}
+
+func TestForcePlanValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(186))
+	x, y, _ := workload.Regression(r, 100, 3, 0.1)
+	if _, err := TrainJoined(x, y, Task{}, Options{ForcePlan: "nonsense"}); err == nil {
+		t.Fatal("want unknown plan error")
+	}
+	if _, err := TrainJoined(x, y[:10], Task{}, Options{}); err == nil {
+		t.Fatal("want label mismatch error")
+	}
+	d, yy := starDesign(t, 187, 100, 10)
+	if _, err := TrainNormalized(d, yy[:5], Task{}, Options{}); err == nil {
+		t.Fatal("want label mismatch error")
+	}
+	if _, err := TrainNormalized(d, yy, Task{}, Options{ForcePlan: "bogus"}); err == nil {
+		t.Fatal("want unknown plan error")
+	}
+}
+
+func TestExplainIsSortedAndMarked(t *testing.T) {
+	d, y := starDesign(t, 188, 2000, 40)
+	res, err := TrainNormalized(d, y, Task{Loss: SquaredLoss, L2: 0.01}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Explain) != 4 {
+		t.Fatalf("explain has %d plans", len(res.Explain))
+	}
+	chosen := 0
+	for i := 1; i < len(res.Explain); i++ {
+		if res.Explain[i].EstFlops < res.Explain[i-1].EstFlops {
+			t.Fatal("explain not sorted by cost")
+		}
+	}
+	for _, p := range res.Explain {
+		if p.Chosen {
+			chosen++
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("%d plans marked chosen", chosen)
+	}
+	if !strings.Contains(ExplainString(res.Explain), "*") {
+		t.Fatal("ExplainString missing the chosen marker")
+	}
+}
+
+func TestSpillAdjustShiftsChoice(t *testing.T) {
+	// Same data, two budgets: generous budget → dense; tight → compressed.
+	r := rand.New(rand.NewSource(189))
+	n := 4000
+	x := workload.TelemetryMatrix(r, n, []int{3, 5}, 1.0)
+	y := make([]float64, n)
+	for i := range y {
+		if la.Dot(x.RowView(i), []float64{1, -1}) >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	// Logistic has no direct plan, so representation is the contested choice.
+	loose, err := TrainJoined(x, y, Task{Loss: LogisticLoss, MaxIter: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget above the compressed footprint (~8KB) but far below dense
+	// (64KB): the compressed representation fits, paging is unnecessary.
+	tight, err := TrainJoined(x, y, Task{Loss: LogisticLoss, MaxIter: 20},
+		Options{MemBudgetBytes: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Plan == "compressed+iterative" {
+		t.Fatalf("loose budget picked %s", loose.Plan)
+	}
+	if tight.Plan != "compressed+iterative" {
+		t.Fatalf("tight budget picked %s\n%s", tight.Plan, ExplainString(tight.Explain))
+	}
+}
+
+func TestPagedPlanChosenForIncompressibleUnderBudget(t *testing.T) {
+	// Continuous (incompressible) data with a hard memory budget: the paged
+	// plan must win, and its model must match the dense plan's.
+	r := rand.New(rand.NewSource(190))
+	x, y, _ := workload.Regression(r, 4000, 8, 0.1)
+	task := Task{Loss: LogisticLoss, MaxIter: 15}
+	for i := range y {
+		if y[i] >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	res, err := TrainJoined(x, y, task, Options{MemBudgetBytes: 32 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != "paged+iterative" {
+		t.Fatalf("plan = %s\n%s", res.Plan, ExplainString(res.Explain))
+	}
+	dense, err := TrainJoined(x, y, task, Options{ForcePlan: "dense+iterative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range res.W {
+		if math.Abs(res.W[j]-dense.W[j]) > 1e-9 {
+			t.Fatalf("paged w[%d] = %v, dense %v", j, res.W[j], dense.W[j])
+		}
+	}
+}
+
+func TestPagedPlanAbsentWithoutBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(191))
+	x, y, _ := workload.Regression(r, 500, 4, 0.1)
+	res, err := TrainJoined(x, y, Task{Loss: SquaredLoss, L2: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Explain {
+		if p.Name == "paged+iterative" {
+			t.Fatal("paged plan offered without a memory budget")
+		}
+	}
+}

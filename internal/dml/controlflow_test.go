@@ -1,0 +1,324 @@
+package dml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmml/internal/la"
+	"dmml/internal/workload"
+)
+
+func TestForLoopBasics(t *testing.T) {
+	v, _ := run(t, `
+s = 0
+for (i in 1:10) {
+  s = s + i
+}
+s`, Env{})
+	if v.S != 55 {
+		t.Fatalf("sum 1..10 = %v", v.S)
+	}
+}
+
+func TestForLoopEmptyRange(t *testing.T) {
+	// from > to: body never executes.
+	v, _ := run(t, `
+s = 42
+for (i in 5:1) {
+  s = 0
+}
+s`, Env{})
+	if v.S != 42 {
+		t.Fatalf("s = %v, want untouched 42", v.S)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	v, _ := run(t, `
+s = 0
+for (i in 1:3) {
+  for (j in 1:4) {
+    s = s + i * j
+  }
+}
+s`, Env{})
+	if v.S != 60 { // (1+2+3)*(1+2+3+4)
+		t.Fatalf("nested sum = %v", v.S)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	cases := map[string]float64{
+		"if (2 > 1) { 10 } else { 20 }": 10,
+		"if (2 < 1) { 10 } else { 20 }": 20,
+		"if (1 == 1) { 5 }":             5,
+		"if (1 != 1) { 5 }\n7":          7,
+		"if (3 >= 3) { 1 } else { 0 }":  1,
+		"if (3 <= 2) { 1 } else { 0 }":  0,
+		"x = 5\nif (x > 3) { x * 2 }":   10,
+	}
+	for src, want := range cases {
+		v, _ := run(t, src, Env{})
+		if v.S != want {
+			t.Fatalf("%q = %v, want %v", src, v.S, want)
+		}
+	}
+}
+
+func TestComparisonAsValue(t *testing.T) {
+	v, _ := run(t, "1 + 2 > 2", Env{}) // (1+2) > 2 → 1
+	if v.S != 1 {
+		t.Fatalf("comparison value = %v", v.S)
+	}
+}
+
+func TestComparisonRejectsMatrix(t *testing.T) {
+	p, err := Parse("A > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run(Env{"A": Matrix(la.NewDense(2, 2))}); err == nil {
+		t.Fatal("want scalar-comparison error")
+	}
+}
+
+// Gradient descent written entirely in DML converges like the Go
+// implementation — the SystemML "declarative iterative ML" story.
+func TestGradientDescentInDML(t *testing.T) {
+	r := rand.New(rand.NewSource(300))
+	x, yv, wTrue := workload.Regression(r, 500, 4, 0.01)
+	y := la.NewDense(len(yv), 1)
+	for i, v := range yv {
+		y.Set(i, 0, v)
+	}
+	src := `
+w = 0 * t(X) %*% y            # zero vector with the right shape
+n = nrow(X)
+for (it in 1:200) {
+  g = t(X) %*% (X %*% w - y) / n
+  w = w - 0.3 * g
+}
+w`
+	env := Env{"X": Matrix(x), "y": Matrix(y)}
+	v, _, err := mustParse(t, src).Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wTrue {
+		if math.Abs(v.M.At(j, 0)-wTrue[j]) > 0.02 {
+			t.Fatalf("w[%d] = %v, true %v", j, v.M.At(j, 0), wTrue[j])
+		}
+	}
+	// And the optimized program gets the same answer.
+	opt := mustParse(t, src).Optimize(ShapesFromEnv(env))
+	vOpt, _, err := opt.Run(Env{"X": Matrix(x), "y": Matrix(y)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vOpt.M.Equal(v.M, 1e-9) {
+		t.Fatal("optimized loop changed the result")
+	}
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestControlFlowParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"for (i in 1:3) { s = 1", // unterminated block
+		"for i in 1:3 { }",       // missing parens
+		"for (i of 1:3) { }",     // wrong keyword
+		"for (i in 1) { }",       // missing colon
+		"if 1 { }",               // missing parens
+		"if (1) 2",               // missing block
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestControlFlowRunErrors(t *testing.T) {
+	a := la.NewDense(2, 2)
+	for _, src := range []string{
+		"for (i in A:3) { 1 }",         // matrix bound
+		"if (A) { 1 }",                 // matrix condition
+		"for (i in 1:100000000) { 1 }", // loop cap
+	} {
+		p := mustParse(t, src)
+		if _, _, err := p.Run(Env{"A": Matrix(a)}); err == nil {
+			t.Fatalf("Run(%q) should fail", src)
+		}
+	}
+}
+
+func TestControlFlowStringRoundTrip(t *testing.T) {
+	src := `
+s = 0
+for (i in 1:3) {
+  if (i > 1) {
+    s = s + i
+  } else {
+    s = s - i
+  }
+}
+s`
+	p := mustParse(t, src)
+	rendered := p.String()
+	if !strings.Contains(rendered, "for (i in 1:3)") || !strings.Contains(rendered, "else {") {
+		t.Fatalf("rendered = %s", rendered)
+	}
+	p2 := mustParse(t, rendered)
+	v1, _, err := p.Run(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := p2.Run(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.S != v2.S { // s = -1+2+3 = 4
+		t.Fatalf("round trip changed semantics: %v vs %v", v1.S, v2.S)
+	}
+	if v1.S != 4 {
+		t.Fatalf("s = %v, want 4", v1.S)
+	}
+}
+
+// Rewrites still fire inside loop bodies (with the loop variable known to
+// be a scalar).
+func TestRewriteInsideLoopBody(t *testing.T) {
+	p := mustParse(t, `
+total = 0
+for (i in 1:3) {
+  total = total + sum(X ^ 2)
+}
+total`)
+	opt := p.Optimize(map[string]Shape{"X": matShape(10, 5)})
+	if !strings.Contains(opt.String(), "__sumsq") {
+		t.Fatalf("loop body not rewritten:\n%s", opt)
+	}
+}
+
+// A variable whose shape changes inside a conditional must not be used for
+// chain reordering afterwards (conservative invalidation).
+func TestShapeInvalidationAfterBranch(t *testing.T) {
+	p := mustParse(t, `
+if (flag > 0) {
+  M = t(M)
+}
+M %*% M %*% v`)
+	// With M's shape invalidated, the chain must be left untouched
+	// (no DP reorder without shapes) — and still parse/render fine.
+	opt := p.Optimize(map[string]Shape{"M": matShape(10, 10), "v": matShape(10, 1)})
+	if opt.String() != p.String() {
+		t.Fatalf("chain reordered despite unknown shapes:\n%s", opt)
+	}
+}
+
+// LICM: t(X) inside a loop body is invariant and must be hoisted out; the
+// hoisted program computes the same result with far fewer transpose cells.
+func TestLICMHoistsInvariantTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	x, yv, _ := workload.Regression(r, 400, 5, 0.01)
+	y := la.NewDense(len(yv), 1)
+	for i, v := range yv {
+		y.Set(i, 0, v)
+	}
+	// Gram-form gradient descent: t(X)%*%X and t(X)%*%y are loop-invariant
+	// products that a naive interpreter recomputes every iteration.
+	src := `
+w = 0 * t(X) %*% y
+for (it in 1:20) {
+  w = w - 0.002 * (t(X) %*% X %*% w - t(X) %*% y)
+}
+sum(w ^ 2)`
+	env := func() Env { return Env{"X": Matrix(x), "y": Matrix(y)} }
+	naiveProg := mustParse(t, src)
+	optProg := mustParse(t, src).Optimize(ShapesFromEnv(env()))
+	if !optProg.HasLICMTemp() {
+		t.Fatalf("no LICM temp in optimized program:\n%s", optProg)
+	}
+	vN, statsN, err := naiveProg.Run(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vO, statsO, err := optProg.Run(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vN.S-vO.S) > 1e-9*(1+math.Abs(vN.S)) {
+		t.Fatalf("LICM changed result: %v vs %v", vN.S, vO.S)
+	}
+	if statsO.CellsAllocated >= statsN.CellsAllocated {
+		t.Fatalf("LICM did not reduce allocation: %d vs %d",
+			statsO.CellsAllocated, statsN.CellsAllocated)
+	}
+}
+
+// LICM must NOT hoist expressions that read loop-modified state.
+func TestLICMLeavesVariantCode(t *testing.T) {
+	src := `
+acc = eye(3)
+for (i in 1:3) {
+  acc = acc %*% acc
+}
+sum(acc)`
+	p := mustParse(t, src)
+	opt := p.Optimize(map[string]Shape{})
+	if opt.HasLICMTemp() {
+		t.Fatalf("variant expression hoisted:\n%s", opt)
+	}
+	// Semantics: acc squares thrice → identity stays identity, sum = 3.
+	v, _, err := opt.Run(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != 3 {
+		t.Fatalf("sum = %v", v.S)
+	}
+}
+
+// LICM must not hoist expressions referencing the loop variable.
+func TestLICMRespectsLoopVariable(t *testing.T) {
+	src := `
+s = 0
+for (i in 1:3) {
+  s = s + sum(eye(2) * i)
+}
+s`
+	p := mustParse(t, src)
+	opt := p.Optimize(map[string]Shape{})
+	// eye(2) alone is invariant and may hoist; eye(2)*i must not. Verify
+	// semantics are preserved either way.
+	v, _, err := opt.Run(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != 12 { // 2*(1+2+3)
+		t.Fatalf("s = %v, want 12", v.S)
+	}
+}
+
+// Hoisting duplicated invariants creates a single shared temp.
+func TestLICMDeduplicatesTemps(t *testing.T) {
+	src := `
+s = 0
+for (i in 1:2) {
+  s = s + sum(t(X)) + trace(t(X))
+}
+s`
+	p := mustParse(t, src)
+	opt := p.Optimize(map[string]Shape{"X": matShape(3, 3)})
+	if strings.Count(opt.String(), licmTempPrefix+"1") < 2 || strings.Contains(opt.String(), licmTempPrefix+"2") {
+		t.Fatalf("expected one shared temp:\n%s", opt)
+	}
+}

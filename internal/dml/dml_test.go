@@ -1,0 +1,502 @@
+package dml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmml/internal/la"
+	"dmml/internal/workload"
+)
+
+func run(t *testing.T, src string, env Env) (Value, *EvalStats) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, stats, err := p.Run(env)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return v, stats
+}
+
+func runOptimized(t *testing.T, src string, env Env) (Value, *EvalStats, *Program) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	opt := p.Optimize(ShapesFromEnv(env))
+	v, stats, err := opt.Run(env)
+	if err != nil {
+		t.Fatalf("run optimized %q: %v", src, err)
+	}
+	return v, stats, opt
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2 * 3":     7,
+		"(1 + 2) * 3":   9,
+		"2 ^ 3 ^ 1":     8,
+		"-2 ^ 2":        -4, // R precedence: -(2^2)
+		"10 / 4":        2.5,
+		"3 - 1 - 1":     1,
+		"2 * 3 ^ 2":     18,
+		"sqrt(16) + 1":  5,
+		"abs(-3)":       3,
+		"exp(0)":        1,
+		"sigmoid(0)":    0.5,
+		"min(5) + 2":    7,
+		"1e2 + 1.5e-1":  100.15,
+		"sum(4)":        4,
+		"mean(9)":       9,
+		"2^-1":          0.5,
+		"-(-5)":         5,
+		"1 + 2 # notes": 3,
+	}
+	for src, want := range cases {
+		v, _ := run(t, src, Env{})
+		if !v.IsScalar || math.Abs(v.S-want) > 1e-12 {
+			t.Fatalf("%q = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "foo(1)", "t(", "x = ", "1 2", "%", "solve(A)", "@",
+		"t(1,2)",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	a := la.NewDense(2, 3)
+	env := Env{"A": Matrix(a)}
+	for _, src := range []string{
+		"B + 1",       // undefined variable
+		"A %*% A",     // inner dim mismatch
+		"A + t(A)",    // elementwise shape mismatch
+		"trace(A)",    // non-square
+		"1 %*% A",     // scalar matmul
+		"solve(A, A)", // non-square solve
+		"eye(0)",      // bad eye
+		"eye(A)",      // non-scalar eye
+		"nrow(3)",     // scalar nrow
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, _, err := p.Run(env); err == nil {
+			t.Fatalf("Run(%q) should fail", src)
+		}
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	a, _ := la.FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := la.FromRows([][]float64{{5, 6}, {7, 8}})
+	env := Env{"A": Matrix(a), "B": Matrix(b)}
+
+	v, _ := run(t, "A %*% B", env)
+	want, _ := la.FromRows([][]float64{{19, 22}, {43, 50}})
+	if !v.M.Equal(want, 1e-12) {
+		t.Fatalf("A %%*%% B = %v", v.M)
+	}
+
+	v, _ = run(t, "A + B * 2", env)
+	wantE, _ := la.FromRows([][]float64{{11, 14}, {17, 20}})
+	if !v.M.Equal(wantE, 1e-12) {
+		t.Fatalf("A + B*2 = %v", v.M)
+	}
+
+	v, _ = run(t, "t(A)", env)
+	if v.M.At(0, 1) != 3 {
+		t.Fatalf("t(A) = %v", v.M)
+	}
+
+	v, _ = run(t, "sum(A)", env)
+	if v.S != 10 {
+		t.Fatalf("sum(A) = %v", v)
+	}
+	v, _ = run(t, "mean(A)", env)
+	if v.S != 2.5 {
+		t.Fatalf("mean(A) = %v", v)
+	}
+	v, _ = run(t, "trace(A %*% B)", env)
+	if v.S != 19+50 {
+		t.Fatalf("trace(AB) = %v", v)
+	}
+	v, _ = run(t, "rowSums(A)", env)
+	if v.M.At(0, 0) != 3 || v.M.At(1, 0) != 7 {
+		t.Fatalf("rowSums = %v", v.M)
+	}
+	v, _ = run(t, "colSums(A)", env)
+	if v.M.At(0, 0) != 4 || v.M.At(0, 1) != 6 {
+		t.Fatalf("colSums = %v", v.M)
+	}
+	v, _ = run(t, "nrow(A) + ncol(A)", env)
+	if v.S != 4 {
+		t.Fatalf("nrow+ncol = %v", v)
+	}
+	v, _ = run(t, "A %*% eye(2)", env)
+	if !v.M.Equal(a, 0) {
+		t.Fatalf("A·I = %v", v.M)
+	}
+}
+
+func TestAssignmentsAndMultiStatement(t *testing.T) {
+	a, _ := la.FromRows([][]float64{{2, 0}, {0, 2}})
+	env := Env{"A": Matrix(a)}
+	v, _ := run(t, "B = A %*% A\nc = sum(B)\nc / 2", env)
+	if v.S != 4 {
+		t.Fatalf("result = %v", v)
+	}
+	if env["c"].S != 8 {
+		t.Fatalf("env c = %v", env["c"])
+	}
+}
+
+func TestSolveLinearRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(170))
+	x, y, wTrue := workload.Regression(r, 300, 4, 0.01)
+	ym := la.NewDense(300, 1)
+	for i, v := range y {
+		ym.Set(i, 0, v)
+	}
+	env := Env{"X": Matrix(x), "y": Matrix(ym), "lambda": Scalar(1e-6)}
+	src := `
+G = t(X) %*% X + lambda * eye(ncol(X))
+w = solve(G, t(X) %*% y)
+w
+`
+	v, _ := run(t, src, env)
+	for j := range wTrue {
+		if math.Abs(v.M.At(j, 0)-wTrue[j]) > 0.05 {
+			t.Fatalf("w[%d] = %v, true %v", j, v.M.At(j, 0), wTrue[j])
+		}
+	}
+	// The optimized program must produce the same weights.
+	vOpt, _, _ := runOptimized(t, src, Env{"X": Matrix(x), "y": Matrix(ym), "lambda": Scalar(1e-6)})
+	if !vOpt.M.Equal(v.M, 1e-9) {
+		t.Fatal("optimized program changed the result")
+	}
+}
+
+func TestRewriteSumSq(t *testing.T) {
+	p, _ := Parse("sum(X ^ 2)")
+	opt := p.Optimize(map[string]Shape{"X": matShape(10, 4)})
+	if !strings.Contains(opt.String(), "__sumsq") {
+		t.Fatalf("rewritten = %s", opt)
+	}
+	p2, _ := Parse("sum(X * X)")
+	opt2 := p2.Optimize(map[string]Shape{"X": matShape(10, 4)})
+	if !strings.Contains(opt2.String(), "__sumsq") {
+		t.Fatalf("rewritten = %s", opt2)
+	}
+	// Semantics preserved, intermediates avoided.
+	r := rand.New(rand.NewSource(171))
+	x, _, _ := workload.Regression(r, 200, 8, 0)
+	env := Env{"X": Matrix(x)}
+	naive, naiveStats := run(t, "sum(X ^ 2)", env)
+	fused, fusedStats, _ := runOptimized(t, "sum(X ^ 2)", env)
+	if math.Abs(naive.S-fused.S) > 1e-9 {
+		t.Fatalf("fused %v vs naive %v", fused.S, naive.S)
+	}
+	if fusedStats.CellsAllocated >= naiveStats.CellsAllocated {
+		t.Fatalf("fusion did not reduce allocation: %d vs %d",
+			fusedStats.CellsAllocated, naiveStats.CellsAllocated)
+	}
+}
+
+func TestRewriteTraceMM(t *testing.T) {
+	p, _ := Parse("trace(A %*% B)")
+	opt := p.Optimize(map[string]Shape{"A": matShape(50, 30), "B": matShape(30, 50)})
+	if !strings.Contains(opt.String(), "__tracemm") {
+		t.Fatalf("rewritten = %s", opt)
+	}
+	r := rand.New(rand.NewSource(172))
+	a, _, _ := workload.Regression(r, 40, 30, 0)
+	b, _, _ := workload.Regression(r, 30, 40, 0)
+	env := Env{"A": Matrix(a), "B": Matrix(b)}
+	naive, naiveStats := run(t, "trace(A %*% B)", env)
+	fused, fusedStats, _ := runOptimized(t, "trace(A %*% B)", env)
+	if math.Abs(naive.S-fused.S) > 1e-8 {
+		t.Fatalf("fused %v vs naive %v", fused.S, naive.S)
+	}
+	if fusedStats.Flops >= naiveStats.Flops {
+		t.Fatalf("tracemm did not reduce flops: %v vs %v", fusedStats.Flops, naiveStats.Flops)
+	}
+}
+
+func TestRewriteDoubleTranspose(t *testing.T) {
+	p, _ := Parse("t(t(X))")
+	opt := p.Optimize(map[string]Shape{"X": matShape(5, 5)})
+	if opt.String() != "X" {
+		t.Fatalf("rewritten = %s", opt)
+	}
+}
+
+func TestRewriteIdentities(t *testing.T) {
+	shapes := map[string]Shape{"X": matShape(7, 7)}
+	cases := map[string]string{
+		"X + 0":        "X",
+		"0 + X":        "X",
+		"X - 0":        "X",
+		"X * 1":        "X",
+		"1 * X":        "X",
+		"X / 1":        "X",
+		"X ^ 1":        "X",
+		"X %*% eye(7)": "X",
+		"eye(7) %*% X": "X",
+		"1 + 2":        "3",
+	}
+	for src, want := range cases {
+		p, _ := Parse(src)
+		if got := p.Optimize(shapes).String(); got != want {
+			t.Fatalf("%q rewrote to %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestMatrixChainReordering(t *testing.T) {
+	// (X %*% Y) %*% v with X 100×100, Y 100×100, v 100×1: right-assoc order
+	// costs 2·(100·100·1) products instead of one 100³ product.
+	shapes := map[string]Shape{
+		"X": matShape(100, 100),
+		"Y": matShape(100, 100),
+		"v": matShape(100, 1),
+	}
+	p, _ := Parse("X %*% Y %*% v")
+	opt := p.Optimize(shapes)
+	if opt.String() != "(X %*% (Y %*% v))" {
+		t.Fatalf("rewritten = %s", opt)
+	}
+	// Execution agrees and uses fewer flops.
+	r := rand.New(rand.NewSource(173))
+	x, _, _ := workload.Regression(r, 100, 100, 0)
+	y, _, _ := workload.Regression(r, 100, 100, 0)
+	v, _, _ := workload.Regression(r, 100, 1, 0)
+	env := Env{"X": Matrix(x), "Y": Matrix(y), "v": Matrix(v)}
+	naive, naiveStats := run(t, "X %*% Y %*% v", env)
+	fast, fastStats, _ := runOptimized(t, "X %*% Y %*% v", env)
+	if !naive.M.Equal(fast.M, 1e-8) {
+		t.Fatal("reordering changed the result")
+	}
+	if fastStats.Flops >= naiveStats.Flops/10 {
+		t.Fatalf("reordering flops %v vs naive %v", fastStats.Flops, naiveStats.Flops)
+	}
+}
+
+func TestGramFusionInEval(t *testing.T) {
+	// t(X) %*% X executes as a fused Gram without materializing t(X).
+	r := rand.New(rand.NewSource(174))
+	x, _, _ := workload.Regression(r, 500, 10, 0)
+	env := Env{"X": Matrix(x)}
+	v, stats := run(t, "t(X) %*% X", env)
+	if !v.M.Equal(la.Gram(x), 1e-8) {
+		t.Fatal("gram mismatch")
+	}
+	// Allocation must be ~d×d, not n×d (the transpose) + d×d.
+	if stats.CellsAllocated > 200 {
+		t.Fatalf("allocated %d cells; transpose was materialized", stats.CellsAllocated)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	r := rand.New(rand.NewSource(175))
+	x, _, _ := workload.Regression(r, 100, 5, 0)
+	env := Env{"X": Matrix(x)}
+	// t(X) %*% X appears twice; CSE must evaluate it once.
+	_, stats := run(t, "sum(t(X) %*% X) + trace(t(X) %*% X)", env)
+	if stats.CSEHits == 0 {
+		t.Fatal("expected CSE hits for repeated subexpression")
+	}
+}
+
+func TestSumPlusRewrite(t *testing.T) {
+	shapes := map[string]Shape{"A": matShape(10, 10), "B": matShape(10, 10)}
+	p, _ := Parse("sum(A + B)")
+	opt := p.Optimize(shapes)
+	if opt.String() != "(sum(A) + sum(B))" {
+		t.Fatalf("rewritten = %s", opt)
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	src := "G = t(X) %*% X\nsum(G)"
+	p, _ := Parse(src)
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip: %q vs %q", p2.String(), p.String())
+	}
+}
+
+func TestSigmoidMatrix(t *testing.T) {
+	a, _ := la.FromRows([][]float64{{0, 100}, {-100, 0}})
+	env := Env{"A": Matrix(a)}
+	v, _ := run(t, "sigmoid(A)", env)
+	if v.M.At(0, 0) != 0.5 || v.M.At(0, 1) < 0.999 || v.M.At(1, 0) > 0.001 {
+		t.Fatalf("sigmoid = %v", v.M)
+	}
+}
+
+func TestSolveNonSPDFallsBackToQR(t *testing.T) {
+	// Non-symmetric but invertible system.
+	a, _ := la.FromRows([][]float64{{0, 1}, {1, 0}})
+	b, _ := la.FromRows([][]float64{{3}, {5}})
+	env := Env{"A": Matrix(a), "b": Matrix(b)}
+	v, _ := run(t, "solve(A, b)", env)
+	if math.Abs(v.M.At(0, 0)-5) > 1e-9 || math.Abs(v.M.At(1, 0)-3) > 1e-9 {
+		t.Fatalf("solve = %v", v.M)
+	}
+}
+
+func TestCbindRbind(t *testing.T) {
+	a, _ := la.FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := la.FromRows([][]float64{{5, 6}, {7, 8}})
+	env := Env{"A": Matrix(a), "B": Matrix(b)}
+	v, _ := run(t, "cbind(A, B)", env)
+	if v.M.Cols() != 4 || v.M.At(0, 2) != 5 {
+		t.Fatalf("cbind = %v", v.M)
+	}
+	v, _ = run(t, "rbind(A, B)", env)
+	if v.M.Rows() != 4 || v.M.At(2, 0) != 5 {
+		t.Fatalf("rbind = %v", v.M)
+	}
+	// Shape inference feeds later rewrites.
+	p, _ := Parse("ncol(cbind(A, B)) + nrow(rbind(A, B))")
+	val, _, err := p.Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.S != 8 {
+		t.Fatalf("dims sum = %v", val.S)
+	}
+	// Mismatched shapes fail cleanly.
+	c := la.NewDense(3, 2)
+	env["C"] = Matrix(c)
+	p2, _ := Parse("cbind(A, C)")
+	if _, _, err := p2.Run(env); err == nil {
+		t.Fatal("want cbind shape error")
+	}
+	p3, _ := Parse("rbind(A, t(C))")
+	if _, _, err := p3.Run(env); err == nil {
+		t.Fatal("want rbind shape error")
+	}
+	// Scalars rejected.
+	p4, _ := Parse("cbind(1, A)")
+	if _, _, err := p4.Run(env); err == nil {
+		t.Fatal("want scalar rejection")
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	a, _ := la.FromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	env := Env{"A": Matrix(a)}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"A[2, 3]", 6},
+		{"A[1, 1] + A[3, 3]", 10},
+		{"sum(A[1:2, 2:3])", 2 + 3 + 5 + 6},
+		{"sum(A[, 1])", 12}, // whole first column
+		{"sum(A[2, ])", 15}, // whole second row
+		{"nrow(A[1:2, ])", 2},
+		{"ncol(A[, 2:3])", 2},
+		{"A[1 + 1, 3 - 2]", 4}, // computed indices
+		{"sum(A[, ])", 45},     // full matrix
+	}
+	for _, c := range cases {
+		v, _ := run(t, c.src, env)
+		if !v.IsScalar || v.S != c.want {
+			t.Fatalf("%q = %v, want %v", c.src, v, c.want)
+		}
+	}
+	// Sub-matrix result.
+	v, _ := run(t, "A[2:3, 1:2]", env)
+	want, _ := la.FromRows([][]float64{{4, 5}, {7, 8}})
+	if !v.M.Equal(want, 0) {
+		t.Fatalf("A[2:3,1:2] = %v", v.M)
+	}
+}
+
+func TestIndexingErrors(t *testing.T) {
+	a := la.NewDense(2, 2)
+	env := Env{"A": Matrix(a)}
+	for _, src := range []string{
+		"A[0, 1]",   // 1-based: 0 invalid
+		"A[3, 1]",   // out of range
+		"A[1, 2:1]", // reversed range
+		"A[1.5, 1]", // non-integer
+		"A[A, 1]",   // matrix index
+		"3[1, 1]",   // scalar base
+		"A[1, 1:9]", // range beyond size
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, _, err := p.Run(env); err == nil {
+			t.Fatalf("Run(%q) should fail", src)
+		}
+	}
+	// Parse errors.
+	for _, src := range []string{"A[1]", "A[1,", "A[1, 2", "A[:, 1]"} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestIndexingRoundTripAndShape(t *testing.T) {
+	p, _ := Parse("A[1:2, ] %*% B")
+	if p.String() != "(A[1:2, ] %*% B)" {
+		t.Fatalf("render = %s", p.String())
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != p.String() {
+		t.Fatal("indexing render not stable")
+	}
+	// Static shapes flow through literal-index expressions: the chain
+	// reorderer can use them.
+	shapes := map[string]Shape{"A": matShape(100, 100), "B": matShape(100, 100), "v": matShape(100, 1)}
+	p3, _ := Parse("A[1:50, ] %*% B %*% v")
+	opt := p3.Optimize(shapes)
+	if opt.String() != "(A[1:50, ] %*% (B %*% v))" {
+		t.Fatalf("chain with indexed factor = %s", opt)
+	}
+}
+
+func TestIndexingInsideLoop(t *testing.T) {
+	// Sum the diagonal via indexing in a loop.
+	a, _ := la.FromRows([][]float64{{1, 0}, {0, 5}})
+	v, _ := run(t, `
+s = 0
+for (i in 1:2) {
+  s = s + A[i, i]
+}
+s`, Env{"A": Matrix(a)})
+	if v.S != 6 {
+		t.Fatalf("diag sum = %v", v.S)
+	}
+}

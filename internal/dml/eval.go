@@ -1,0 +1,639 @@
+package dml
+
+import (
+	"fmt"
+	"math"
+
+	"dmml/internal/la"
+	"dmml/internal/opt"
+)
+
+// Value is a DML runtime value: a scalar or a dense matrix.
+type Value struct {
+	IsScalar bool
+	S        float64
+	M        *la.Dense
+}
+
+// Scalar wraps a float64 as a Value.
+func Scalar(v float64) Value { return Value{IsScalar: true, S: v} }
+
+// Matrix wraps a dense matrix as a Value.
+func Matrix(m *la.Dense) Value { return Value{M: m} }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.IsScalar {
+		return fmt.Sprintf("%g", v.S)
+	}
+	return v.M.String()
+}
+
+// Env binds variable names to values.
+type Env map[string]Value
+
+// EvalStats counts the physical work an evaluation performed; the rewrite
+// experiments compare these across naive and optimized plans.
+type EvalStats struct {
+	// CellsAllocated counts matrix cells materialized for intermediates.
+	CellsAllocated int64
+	// Flops estimates floating-point operations of matrix products and
+	// fused aggregates.
+	Flops float64
+	// CSEHits counts subexpressions answered from the per-statement cache.
+	CSEHits int64
+}
+
+// Run evaluates the program against env (mutating it with assignments) and
+// returns the value of the final statement plus evaluation statistics.
+func (p *Program) Run(env Env) (Value, *EvalStats, error) {
+	stats := &EvalStats{}
+	last, err := runStmts(env, stats, p.Stmts)
+	return last, stats, err
+}
+
+// maxLoopIters caps counted loops so a typo cannot hang the interpreter.
+const maxLoopIters = 10_000_000
+
+func runStmts(env Env, stats *EvalStats, stmts []Stmt) (Value, error) {
+	var last Value
+	for i, stmt := range stmts {
+		fail := func(err error) (Value, error) {
+			return Value{}, fmt.Errorf("dml: statement %d (%s): %w", i+1, stmt, err)
+		}
+		switch {
+		case stmt.For != nil:
+			ev := &evaluator{env: env, stats: stats, memo: map[string]Value{}}
+			fromV, err := ev.eval(stmt.For.From)
+			if err != nil {
+				return fail(err)
+			}
+			toV, err := ev.eval(stmt.For.To)
+			if err != nil {
+				return fail(err)
+			}
+			if !fromV.IsScalar || !toV.IsScalar {
+				return fail(fmt.Errorf("loop bounds must be scalars"))
+			}
+			from, to := int(fromV.S), int(toV.S)
+			if to-from+1 > maxLoopIters {
+				return fail(fmt.Errorf("loop of %d iterations exceeds the %d cap", to-from+1, maxLoopIters))
+			}
+			for k := from; k <= to; k++ {
+				env[stmt.For.Var] = Scalar(float64(k))
+				v, err := runStmts(env, stats, stmt.For.Body)
+				if err != nil {
+					return Value{}, err
+				}
+				last = v
+			}
+		case stmt.If != nil:
+			ev := &evaluator{env: env, stats: stats, memo: map[string]Value{}}
+			cond, err := ev.eval(stmt.If.Cond)
+			if err != nil {
+				return fail(err)
+			}
+			if !cond.IsScalar {
+				return fail(fmt.Errorf("if condition must be a scalar"))
+			}
+			branch := stmt.If.Then
+			if cond.S == 0 {
+				branch = stmt.If.Else
+			}
+			v, err := runStmts(env, stats, branch)
+			if err != nil {
+				return Value{}, err
+			}
+			if len(branch) > 0 {
+				last = v
+			}
+		default:
+			ev := &evaluator{env: env, stats: stats, memo: map[string]Value{}}
+			v, err := ev.eval(stmt.Expr)
+			if err != nil {
+				return fail(err)
+			}
+			if stmt.Name != "" {
+				env[stmt.Name] = v
+			}
+			last = v
+		}
+	}
+	return last, nil
+}
+
+type evaluator struct {
+	env   Env
+	stats *EvalStats
+	memo  map[string]Value // per-statement CSE cache
+}
+
+func (e *evaluator) allocCells(rows, cols int) {
+	e.stats.CellsAllocated += int64(rows) * int64(cols)
+}
+
+func (e *evaluator) eval(n Node) (Value, error) {
+	// CSE: identical matrix subtrees inside one statement evaluate once.
+	key := ""
+	switch n.(type) {
+	case *BinOp, *Call, *Index:
+		key = n.String()
+		if v, ok := e.memo[key]; ok {
+			e.stats.CSEHits++
+			return v, nil
+		}
+	}
+	v, err := e.evalRaw(n)
+	if err != nil {
+		return Value{}, err
+	}
+	if key != "" {
+		e.memo[key] = v
+	}
+	return v, nil
+}
+
+func (e *evaluator) evalRaw(n Node) (Value, error) {
+	switch t := n.(type) {
+	case *NumLit:
+		return Scalar(t.Val), nil
+	case *Var:
+		v, ok := e.env[t.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("undefined variable %q", t.Name)
+		}
+		return v, nil
+	case *Unary:
+		v, err := e.eval(t.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return Scalar(-v.S), nil
+		}
+		out := v.M.Clone().Scale(-1)
+		e.allocCells(out.Rows(), out.Cols())
+		return Matrix(out), nil
+	case *BinOp:
+		return e.evalBinOp(t)
+	case *Call:
+		return e.evalCall(t)
+	case *Index:
+		return e.evalIndex(t)
+	default:
+		return Value{}, fmt.Errorf("unknown node type %T", n)
+	}
+}
+
+func (e *evaluator) evalBinOp(n *BinOp) (Value, error) {
+	if n.Op == "%*%" {
+		return e.evalMatMul(n)
+	}
+	l, err := e.eval(n.Left)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.eval(n.Right)
+	if err != nil {
+		return Value{}, err
+	}
+	if compareOps[n.Op] {
+		if !l.IsScalar || !r.IsScalar {
+			return Value{}, fmt.Errorf("comparison %s needs scalar operands", n.Op)
+		}
+		return Scalar(boolToFloat(compare(n.Op, l.S, r.S))), nil
+	}
+	apply := func(a, b float64) (float64, error) {
+		switch n.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			return a / b, nil
+		case "^":
+			return math.Pow(a, b), nil
+		}
+		return 0, fmt.Errorf("unknown operator %q", n.Op)
+	}
+	switch {
+	case l.IsScalar && r.IsScalar:
+		v, err := apply(l.S, r.S)
+		return Scalar(v), err
+	case l.IsScalar:
+		out := r.M.Clone()
+		e.allocCells(out.Rows(), out.Cols())
+		var ferr error
+		out.Apply(func(x float64) float64 {
+			v, err := apply(l.S, x)
+			if err != nil {
+				ferr = err
+			}
+			return v
+		})
+		return Matrix(out), ferr
+	case r.IsScalar:
+		out := l.M.Clone()
+		e.allocCells(out.Rows(), out.Cols())
+		var ferr error
+		out.Apply(func(x float64) float64 {
+			v, err := apply(x, r.S)
+			if err != nil {
+				ferr = err
+			}
+			return v
+		})
+		return Matrix(out), ferr
+	default:
+		lr, lc := l.M.Dims()
+		rr, rc := r.M.Dims()
+		if lr != rr || lc != rc {
+			return Value{}, fmt.Errorf("element-wise %s on %dx%d and %dx%d", n.Op, lr, lc, rr, rc)
+		}
+		out := l.M.Clone()
+		e.allocCells(lr, lc)
+		ld, rd := out.RawData(), r.M.RawData()
+		for i := range ld {
+			v, err := apply(ld[i], rd[i])
+			if err != nil {
+				return Value{}, err
+			}
+			ld[i] = v
+		}
+		return Matrix(out), nil
+	}
+}
+
+// evalMatMul executes %*% with physical-operator selection: t(X) %*% X maps
+// to the fused Gram kernel, products against thin right-hand sides map to
+// matrix–vector kernels, and t(X) %*% y avoids materializing the transpose.
+func (e *evaluator) evalMatMul(n *BinOp) (Value, error) {
+	// t(A) %*% A → Gram(A) without materializing the transpose.
+	if lt, ok := n.Left.(*Call); ok && lt.Fn == "t" {
+		if lt.Args[0].String() == n.Right.String() {
+			inner, err := e.eval(lt.Args[0])
+			if err != nil {
+				return Value{}, err
+			}
+			if !inner.IsScalar {
+				rows, cols := inner.M.Dims()
+				e.stats.Flops += float64(rows) * float64(cols) * float64(cols)
+				e.allocCells(cols, cols)
+				return Matrix(la.Gram(inner.M)), nil
+			}
+		}
+		// t(A) %*% B with thin B → per-column VecMat on A (no transpose).
+		innerV, err := e.eval(lt.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		rv, err := e.eval(n.Right)
+		if err != nil {
+			return Value{}, err
+		}
+		if !innerV.IsScalar && !rv.IsScalar && rv.M.Cols() == 1 {
+			a := innerV.M
+			if a.Rows() != rv.M.Rows() {
+				return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d", a.Cols(), a.Rows(), rv.M.Rows(), rv.M.Cols())
+			}
+			col := rv.M.Col(0)
+			res := la.VecMat(col, a)
+			e.stats.Flops += 2 * float64(a.Rows()) * float64(a.Cols())
+			e.allocCells(len(res), 1)
+			out := la.NewDense(len(res), 1)
+			for i, v := range res {
+				out.Set(i, 0, v)
+			}
+			return Matrix(out), nil
+		}
+		// Fall through: generic path with materialized operands.
+		return e.genericMatMul(Value{M: innerV.M.T()}, rv)
+	}
+	l, err := e.eval(n.Left)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.eval(n.Right)
+	if err != nil {
+		return Value{}, err
+	}
+	return e.genericMatMul(l, r)
+}
+
+func (e *evaluator) genericMatMul(l, r Value) (Value, error) {
+	if l.IsScalar || r.IsScalar {
+		return Value{}, fmt.Errorf("%%*%% needs matrices on both sides")
+	}
+	lr, lc := l.M.Dims()
+	rr, rc := r.M.Dims()
+	if lc != rr {
+		return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d", lr, lc, rr, rc)
+	}
+	e.stats.Flops += 2 * float64(lr) * float64(lc) * float64(rc)
+	e.allocCells(lr, rc)
+	if rc == 1 {
+		res := la.MatVec(l.M, r.M.Col(0))
+		out := la.NewDense(lr, 1)
+		for i, v := range res {
+			out.Set(i, 0, v)
+		}
+		return Matrix(out), nil
+	}
+	return Matrix(la.MatMul(l.M, r.M)), nil
+}
+
+func (e *evaluator) evalCall(n *Call) (Value, error) {
+	// Fused operators first: they bypass child materialization.
+	switch n.Fn {
+	case "__sumsq":
+		v, err := e.eval(n.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return Scalar(v.S * v.S), nil
+		}
+		e.stats.Flops += 2 * float64(v.M.Rows()) * float64(v.M.Cols())
+		return Scalar(v.M.SumSq()), nil
+	case "__tracemm":
+		a, err := e.eval(n.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := e.eval(n.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		if a.IsScalar || b.IsScalar {
+			return Value{}, fmt.Errorf("__tracemm needs matrices")
+		}
+		ar, ac := a.M.Dims()
+		br, bc := b.M.Dims()
+		if ac != br || ar != bc {
+			return Value{}, fmt.Errorf("trace(A %%*%% B) on %dx%d and %dx%d", ar, ac, br, bc)
+		}
+		e.stats.Flops += 2 * float64(ar) * float64(ac)
+		return Scalar(la.TraceMatMul(a.M, b.M)), nil
+	}
+
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := e.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	needMatrix := func(i int) (*la.Dense, error) {
+		if args[i].IsScalar {
+			return nil, fmt.Errorf("%s: argument %d must be a matrix", n.Fn, i+1)
+		}
+		return args[i].M, nil
+	}
+	elementwise := func(f func(float64) float64) (Value, error) {
+		if args[0].IsScalar {
+			return Scalar(f(args[0].S)), nil
+		}
+		out := args[0].M.Clone().Apply(f)
+		e.allocCells(out.Rows(), out.Cols())
+		return Matrix(out), nil
+	}
+	switch n.Fn {
+	case "t":
+		m, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		e.allocCells(m.Cols(), m.Rows())
+		return Matrix(m.T()), nil
+	case "sum":
+		if args[0].IsScalar {
+			return args[0], nil
+		}
+		return Scalar(args[0].M.Sum()), nil
+	case "mean":
+		if args[0].IsScalar {
+			return args[0], nil
+		}
+		m := args[0].M
+		return Scalar(m.Sum() / float64(m.Rows()*m.Cols())), nil
+	case "min", "max":
+		if args[0].IsScalar {
+			return args[0], nil
+		}
+		data := args[0].M.RawData()
+		best := data[0]
+		for _, v := range data[1:] {
+			if (n.Fn == "min" && v < best) || (n.Fn == "max" && v > best) {
+				best = v
+			}
+		}
+		return Scalar(best), nil
+	case "trace":
+		m, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if m.Rows() != m.Cols() {
+			return Value{}, fmt.Errorf("trace of non-square %dx%d", m.Rows(), m.Cols())
+		}
+		return Scalar(la.Trace(m)), nil
+	case "nrow":
+		m, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(float64(m.Rows())), nil
+	case "ncol":
+		m, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(float64(m.Cols())), nil
+	case "rowSums":
+		m, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		sums := m.RowSums()
+		out := la.NewDense(len(sums), 1)
+		for i, v := range sums {
+			out.Set(i, 0, v)
+		}
+		e.allocCells(len(sums), 1)
+		return Matrix(out), nil
+	case "colSums":
+		m, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		sums := m.ColSums()
+		out := la.NewDense(1, len(sums))
+		for j, v := range sums {
+			out.Set(0, j, v)
+		}
+		e.allocCells(1, len(sums))
+		return Matrix(out), nil
+	case "exp":
+		return elementwise(math.Exp)
+	case "log":
+		return elementwise(math.Log)
+	case "sqrt":
+		return elementwise(math.Sqrt)
+	case "abs":
+		return elementwise(math.Abs)
+	case "sigmoid":
+		return elementwise(opt.Sigmoid)
+	case "eye":
+		if !args[0].IsScalar {
+			return Value{}, fmt.Errorf("eye: argument must be a scalar")
+		}
+		k := int(args[0].S)
+		if k < 1 || float64(k) != args[0].S {
+			return Value{}, fmt.Errorf("eye: need a positive integer, got %g", args[0].S)
+		}
+		e.allocCells(k, k)
+		return Matrix(la.Identity(k)), nil
+	case "cbind", "rbind":
+		a, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := needMatrix(1)
+		if err != nil {
+			return Value{}, err
+		}
+		var out *la.Dense
+		if n.Fn == "cbind" {
+			out, err = la.HCat(a, b)
+		} else {
+			out, err = la.Stack(a, b)
+		}
+		if err != nil {
+			return Value{}, fmt.Errorf("%s: %w", n.Fn, err)
+		}
+		e.allocCells(out.Rows(), out.Cols())
+		return Matrix(out), nil
+	case "solve":
+		a, err := needMatrix(0)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := needMatrix(1)
+		if err != nil {
+			return Value{}, err
+		}
+		if a.Rows() != a.Cols() {
+			return Value{}, fmt.Errorf("solve: coefficient matrix is %dx%d, want square", a.Rows(), a.Cols())
+		}
+		if b.Rows() != a.Rows() || b.Cols() != 1 {
+			return Value{}, fmt.Errorf("solve: rhs is %dx%d, want %dx1", b.Rows(), b.Cols(), a.Rows())
+		}
+		rhs := b.Col(0)
+		x, err := la.SolveSPD(a, rhs)
+		if err != nil {
+			// Non-SPD systems fall back to least squares via QR.
+			x, err = la.LstSq(a, rhs)
+			if err != nil {
+				return Value{}, fmt.Errorf("solve: %w", err)
+			}
+		}
+		e.stats.Flops += float64(a.Rows()) * float64(a.Rows()) * float64(a.Rows()) / 3
+		out := la.NewDense(len(x), 1)
+		for i, v := range x {
+			out.Set(i, 0, v)
+		}
+		e.allocCells(len(x), 1)
+		return Matrix(out), nil
+	default:
+		return Value{}, fmt.Errorf("unknown function %q", n.Fn)
+	}
+}
+
+func compare(op string, a, b float64) bool {
+	switch op {
+	case "<":
+		return a < b
+	case ">":
+		return a > b
+	case "<=":
+		return a <= b
+	case ">=":
+		return a >= b
+	case "==":
+		return a == b
+	default: // "!="
+		return a != b
+	}
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalIndex executes right indexing with 1-based inclusive bounds.
+func (e *evaluator) evalIndex(n *Index) (Value, error) {
+	base, err := e.eval(n.X)
+	if err != nil {
+		return Value{}, err
+	}
+	if base.IsScalar {
+		return Value{}, fmt.Errorf("cannot index a scalar")
+	}
+	rows, cols := base.M.Dims()
+	r0, r1, err := e.resolveSpec(n.Row, rows, "row")
+	if err != nil {
+		return Value{}, err
+	}
+	c0, c1, err := e.resolveSpec(n.Col, cols, "column")
+	if err != nil {
+		return Value{}, err
+	}
+	if r0 == r1-1 && c0 == c1-1 {
+		return Scalar(base.M.At(r0, c0)), nil
+	}
+	out := base.M.Slice(r0, r1, c0, c1)
+	e.allocCells(out.Rows(), out.Cols())
+	return Matrix(out), nil
+}
+
+// resolveSpec converts a 1-based IndexSpec into a half-open 0-based range.
+func (e *evaluator) resolveSpec(spec *IndexSpec, size int, axis string) (lo, hi int, err error) {
+	if spec.All {
+		return 0, size, nil
+	}
+	loV, err := e.eval(spec.Lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !loV.IsScalar {
+		return 0, 0, fmt.Errorf("%s index must be a scalar", axis)
+	}
+	lo1 := int(loV.S)
+	if float64(lo1) != loV.S {
+		return 0, 0, fmt.Errorf("%s index %g is not an integer", axis, loV.S)
+	}
+	hi1 := lo1
+	if spec.Hi != nil {
+		hiV, err := e.eval(spec.Hi)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !hiV.IsScalar {
+			return 0, 0, fmt.Errorf("%s index must be a scalar", axis)
+		}
+		hi1 = int(hiV.S)
+		if float64(hi1) != hiV.S {
+			return 0, 0, fmt.Errorf("%s index %g is not an integer", axis, hiV.S)
+		}
+	}
+	if lo1 < 1 || hi1 < lo1 || hi1 > size {
+		return 0, 0, fmt.Errorf("%s range %d:%d out of bounds for size %d", axis, lo1, hi1, size)
+	}
+	return lo1 - 1, hi1, nil
+}

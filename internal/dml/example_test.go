@@ -1,0 +1,63 @@
+package dml_test
+
+import (
+	"fmt"
+	"log"
+
+	"dmml/internal/dml"
+	"dmml/internal/la"
+)
+
+// Ridge regression through the declarative language: write linear algebra,
+// let the optimizer pick the physical plan.
+func Example() {
+	x, err := la.FromRows([][]float64{
+		{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, err := la.FromRows([][]float64{{2}, {3}, {5}, {7}, {8}}) // y = 2a+3b
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := dml.Parse(`
+G = t(X) %*% X + 0.000001 * eye(ncol(X))
+w = solve(G, t(X) %*% y)
+w`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := dml.Env{"X": dml.Matrix(x), "y": dml.Matrix(y)}
+	prog = prog.Optimize(dml.ShapesFromEnv(env))
+	v, _, err := prog.Run(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("w0 = %.2f, w1 = %.2f\n", v.M.At(0, 0), v.M.At(1, 0))
+	// Output:
+	// w0 = 2.00, w1 = 3.00
+}
+
+// Loops and conditionals make whole iterative algorithms expressible; the
+// optimizer hoists loop-invariant work.
+func Example_controlFlow() {
+	prog, err := dml.Parse(`
+s = 0
+for (i in 1:10) {
+  if (i > 5) {
+    s = s + i
+  }
+}
+s`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := prog.Run(dml.Env{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output:
+	// 40
+}

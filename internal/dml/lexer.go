@@ -1,0 +1,154 @@
+package dml
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokNum
+	tokIdent
+	tokOp     // + - * / ^ =
+	tokMatMul // %*%
+	tokLParen
+	tokRParen
+	tokComma
+	tokLBrace
+	tokRBrace
+	tokColon
+	tokLBracket
+	tokRBracket
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src. Newlines are significant (statement separators);
+// '#' starts a comment to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\n' || c == ';':
+			toks = append(toks, token{kind: tokNewline, text: "\n", pos: i})
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case c == '{':
+			toks = append(toks, token{kind: tokLBrace, text: "{", pos: i})
+			i++
+		case c == '}':
+			toks = append(toks, token{kind: tokRBrace, text: "}", pos: i})
+			i++
+		case c == ':':
+			toks = append(toks, token{kind: tokColon, text: ":", pos: i})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			op := string(c)
+			if i+1 < n && src[i+1] == '=' {
+				op += "="
+				i++
+			} else if c == '!' {
+				return nil, fmt.Errorf("dml: position %d: unexpected '!'; only != is supported", i)
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i++
+		case c == '%':
+			if i+2 < n && src[i+1] == '*' && src[i+2] == '%' {
+				toks = append(toks, token{kind: tokMatMul, text: "%*%", pos: i})
+				i += 3
+			} else {
+				return nil, fmt.Errorf("dml: position %d: unexpected %%; only %%*%% is supported", i)
+			}
+		case c == '=':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "==", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: "=", pos: i})
+				i++
+			}
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '^':
+			toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			seenE := false
+			for j < n {
+				cj := src[j]
+				if cj >= '0' && cj <= '9' || cj == '.' {
+					j++
+					continue
+				}
+				if (cj == 'e' || cj == 'E') && !seenE {
+					seenE = true
+					j++
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			v, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dml: position %d: bad number %q", i, src[i:j])
+			}
+			toks = append(toks, token{kind: tokNum, text: src[i:j], num: v, pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("dml: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,485 @@
+package dml
+
+import (
+	"math"
+)
+
+// Shape describes an expression's dimensions when statically known.
+type Shape struct {
+	Rows, Cols int
+	Scalar     bool
+	Known      bool
+}
+
+func scalarShape() Shape       { return Shape{Scalar: true, Known: true} }
+func matShape(r, c int) Shape  { return Shape{Rows: r, Cols: c, Known: true} }
+func unknownShape() Shape      { return Shape{} }
+func (s Shape) isMatrix() bool { return s.Known && !s.Scalar }
+
+// inferShape computes the static shape of n given variable shapes.
+func inferShape(n Node, vars map[string]Shape) Shape {
+	switch t := n.(type) {
+	case *NumLit:
+		return scalarShape()
+	case *Var:
+		if s, ok := vars[t.Name]; ok {
+			return s
+		}
+		return unknownShape()
+	case *Unary:
+		return inferShape(t.X, vars)
+	case *BinOp:
+		if compareOps[t.Op] {
+			return scalarShape()
+		}
+		l := inferShape(t.Left, vars)
+		r := inferShape(t.Right, vars)
+		if t.Op == "%*%" {
+			if l.isMatrix() && r.isMatrix() {
+				return matShape(l.Rows, r.Cols)
+			}
+			return unknownShape()
+		}
+		if !l.Known || !r.Known {
+			return unknownShape()
+		}
+		if l.Scalar && r.Scalar {
+			return scalarShape()
+		}
+		if l.Scalar {
+			return r
+		}
+		return l
+	case *Index:
+		base := inferShape(t.X, vars)
+		if !base.isMatrix() {
+			return unknownShape()
+		}
+		r, rok := specSpan(t.Row, base.Rows)
+		c, cok := specSpan(t.Col, base.Cols)
+		if !rok || !cok {
+			return unknownShape()
+		}
+		if r == 1 && c == 1 {
+			return scalarShape()
+		}
+		return matShape(r, c)
+	case *Call:
+		switch t.Fn {
+		case "sum", "mean", "min", "max", "trace", "nrow", "ncol", "__sumsq", "__tracemm":
+			return scalarShape()
+		case "t":
+			in := inferShape(t.Args[0], vars)
+			if in.isMatrix() {
+				return matShape(in.Cols, in.Rows)
+			}
+			return unknownShape()
+		case "rowSums":
+			in := inferShape(t.Args[0], vars)
+			if in.isMatrix() {
+				return matShape(in.Rows, 1)
+			}
+			return unknownShape()
+		case "colSums":
+			in := inferShape(t.Args[0], vars)
+			if in.isMatrix() {
+				return matShape(1, in.Cols)
+			}
+			return unknownShape()
+		case "eye":
+			if lit, ok := t.Args[0].(*NumLit); ok {
+				k := int(lit.Val)
+				if k > 0 && float64(k) == lit.Val {
+					return matShape(k, k)
+				}
+			}
+			return unknownShape()
+		case "solve":
+			a := inferShape(t.Args[0], vars)
+			if a.isMatrix() {
+				return matShape(a.Cols, 1)
+			}
+			return unknownShape()
+		case "cbind":
+			a, b := inferShape(t.Args[0], vars), inferShape(t.Args[1], vars)
+			if a.isMatrix() && b.isMatrix() && a.Rows == b.Rows {
+				return matShape(a.Rows, a.Cols+b.Cols)
+			}
+			return unknownShape()
+		case "rbind":
+			a, b := inferShape(t.Args[0], vars), inferShape(t.Args[1], vars)
+			if a.isMatrix() && b.isMatrix() && a.Cols == b.Cols {
+				return matShape(a.Rows+b.Rows, a.Cols)
+			}
+			return unknownShape()
+		default: // exp, log, sqrt, abs, sigmoid preserve shape
+			return inferShape(t.Args[0], vars)
+		}
+	}
+	return unknownShape()
+}
+
+// Optimize rewrites the program with SystemML-style algebraic rewrites:
+// constant folding, identity elimination, t(t(A)) collapse, aggregate fusion
+// (sum(A^2), sum(A*A) → fused sum-of-squares; trace(A%*%B) → fused
+// contraction), identity-matrix elimination, and cost-based matrix-chain
+// reordering driven by the shapes of the environment's variables.
+func (p *Program) Optimize(vars map[string]Shape) *Program {
+	shapes := make(map[string]Shape, len(vars))
+	for k, v := range vars {
+		shapes[k] = v
+	}
+	counter := 0
+	stmts := applyLICM(p.Stmts, &counter)
+	return &Program{Stmts: optimizeStmts(stmts, shapes)}
+}
+
+// optimizeStmts rewrites a statement list, tracking variable shapes through
+// assignments. Control-flow bodies are rewritten with the loop variable
+// bound to a scalar; variables assigned inside a branch or loop get their
+// shapes conservatively invalidated afterwards (the construct may or may not
+// execute).
+func optimizeStmts(stmts []Stmt, shapes map[string]Shape) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, stmt := range stmts {
+		switch {
+		case stmt.For != nil:
+			inner := cloneShapes(shapes)
+			inner[stmt.For.Var] = scalarShape()
+			invalidateAssigned(stmt.For.Body, inner)
+			body := optimizeStmts(stmt.For.Body, inner)
+			out[i] = Stmt{For: &ForStmt{
+				Var:  stmt.For.Var,
+				From: rewriteFixpoint(stmt.For.From, shapes),
+				To:   rewriteFixpoint(stmt.For.To, shapes),
+				Body: body,
+			}}
+			invalidateAssigned(stmt.For.Body, shapes)
+			shapes[stmt.For.Var] = scalarShape()
+		case stmt.If != nil:
+			thenShapes := cloneShapes(shapes)
+			elseShapes := cloneShapes(shapes)
+			out[i] = Stmt{If: &IfStmt{
+				Cond: rewriteFixpoint(stmt.If.Cond, shapes),
+				Then: optimizeStmts(stmt.If.Then, thenShapes),
+				Else: optimizeStmts(stmt.If.Else, elseShapes),
+			}}
+			invalidateAssigned(stmt.If.Then, shapes)
+			invalidateAssigned(stmt.If.Else, shapes)
+		default:
+			expr := rewriteFixpoint(stmt.Expr, shapes)
+			out[i] = Stmt{Name: stmt.Name, Expr: expr}
+			if stmt.Name != "" {
+				shapes[stmt.Name] = inferShape(expr, shapes)
+			}
+		}
+	}
+	return out
+}
+
+func cloneShapes(shapes map[string]Shape) map[string]Shape {
+	out := make(map[string]Shape, len(shapes))
+	for k, v := range shapes {
+		out[k] = v
+	}
+	return out
+}
+
+// invalidateAssigned clears the shapes of every variable assigned anywhere
+// in the statement list (recursively).
+func invalidateAssigned(stmts []Stmt, shapes map[string]Shape) {
+	for _, stmt := range stmts {
+		switch {
+		case stmt.For != nil:
+			invalidateAssigned(stmt.For.Body, shapes)
+		case stmt.If != nil:
+			invalidateAssigned(stmt.If.Then, shapes)
+			invalidateAssigned(stmt.If.Else, shapes)
+		case stmt.Name != "":
+			delete(shapes, stmt.Name)
+		}
+	}
+}
+
+// ShapesFromEnv derives static shapes from runtime bindings.
+func ShapesFromEnv(env Env) map[string]Shape {
+	out := make(map[string]Shape, len(env))
+	for name, v := range env {
+		if v.IsScalar {
+			out[name] = scalarShape()
+		} else {
+			r, c := v.M.Dims()
+			out[name] = matShape(r, c)
+		}
+	}
+	return out
+}
+
+// specSpan returns the static width of an index spec when derivable.
+func specSpan(spec *IndexSpec, axisSize int) (int, bool) {
+	if spec.All {
+		return axisSize, true
+	}
+	lo, ok := spec.Lo.(*NumLit)
+	if !ok {
+		return 0, false
+	}
+	if spec.Hi == nil {
+		return 1, true
+	}
+	hi, ok := spec.Hi.(*NumLit)
+	if !ok {
+		return 0, false
+	}
+	return int(hi.Val) - int(lo.Val) + 1, true
+}
+
+const maxRewritePasses = 20
+
+func rewriteFixpoint(n Node, vars map[string]Shape) Node {
+	for pass := 0; pass < maxRewritePasses; pass++ {
+		before := n.String()
+		n = rewriteNode(n, vars)
+		if n.String() == before {
+			break
+		}
+	}
+	return n
+}
+
+// rewriteNode applies one bottom-up rewrite pass.
+func rewriteNode(n Node, vars map[string]Shape) Node {
+	switch t := n.(type) {
+	case *NumLit, *Var:
+		return n
+	case *Unary:
+		x := rewriteNode(t.X, vars)
+		if lit, ok := x.(*NumLit); ok {
+			return &NumLit{Val: -lit.Val, Pos: t.Pos}
+		}
+		if inner, ok := x.(*Unary); ok { // --A → A
+			return inner.X
+		}
+		return &Unary{X: x, Pos: t.Pos}
+	case *BinOp:
+		l := rewriteNode(t.Left, vars)
+		r := rewriteNode(t.Right, vars)
+		nn := &BinOp{Op: t.Op, Left: l, Right: r, Pos: t.Pos}
+		if folded, ok := foldConst(nn); ok {
+			return folded
+		}
+		if simplified, ok := identityElim(nn, vars); ok {
+			return simplified
+		}
+		if nn.Op == "%*%" {
+			return reorderChain(nn, vars)
+		}
+		return nn
+	case *Call:
+		args := make([]Node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = rewriteNode(a, vars)
+		}
+		nn := &Call{Fn: t.Fn, Args: args, Pos: t.Pos}
+		return rewriteCall(nn, vars)
+	case *Index:
+		return &Index{
+			X:   rewriteNode(t.X, vars),
+			Row: rewriteSpec(t.Row, vars),
+			Col: rewriteSpec(t.Col, vars),
+			Pos: t.Pos,
+		}
+	}
+	return n
+}
+
+func rewriteSpec(spec *IndexSpec, vars map[string]Shape) *IndexSpec {
+	if spec.All {
+		return spec
+	}
+	out := &IndexSpec{Lo: rewriteNode(spec.Lo, vars)}
+	if spec.Hi != nil {
+		out.Hi = rewriteNode(spec.Hi, vars)
+	}
+	return out
+}
+
+func foldConst(n *BinOp) (Node, bool) {
+	l, lok := n.Left.(*NumLit)
+	r, rok := n.Right.(*NumLit)
+	if !lok || !rok {
+		return nil, false
+	}
+	var v float64
+	switch n.Op {
+	case "+":
+		v = l.Val + r.Val
+	case "-":
+		v = l.Val - r.Val
+	case "*":
+		v = l.Val * r.Val
+	case "/":
+		v = l.Val / r.Val
+	case "^":
+		v = math.Pow(l.Val, r.Val)
+	default:
+		return nil, false
+	}
+	return &NumLit{Val: v, Pos: n.Pos}, true
+}
+
+func isLit(n Node, v float64) bool {
+	lit, ok := n.(*NumLit)
+	return ok && lit.Val == v
+}
+
+// identityElim removes arithmetic identities and identity-matrix products.
+func identityElim(n *BinOp, vars map[string]Shape) (Node, bool) {
+	switch n.Op {
+	case "+":
+		if isLit(n.Left, 0) {
+			return n.Right, true
+		}
+		if isLit(n.Right, 0) {
+			return n.Left, true
+		}
+	case "-":
+		if isLit(n.Right, 0) {
+			return n.Left, true
+		}
+	case "*":
+		if isLit(n.Left, 1) {
+			return n.Right, true
+		}
+		if isLit(n.Right, 1) {
+			return n.Left, true
+		}
+	case "/":
+		if isLit(n.Right, 1) {
+			return n.Left, true
+		}
+	case "^":
+		if isLit(n.Right, 1) {
+			return n.Left, true
+		}
+	case "%*%":
+		// A %*% eye(n) → A and eye(n) %*% A → A when shapes agree.
+		if c, ok := n.Right.(*Call); ok && c.Fn == "eye" {
+			ls := inferShape(n.Left, vars)
+			es := inferShape(c, vars)
+			if ls.isMatrix() && es.isMatrix() && ls.Cols == es.Rows {
+				return n.Left, true
+			}
+		}
+		if c, ok := n.Left.(*Call); ok && c.Fn == "eye" {
+			rs := inferShape(n.Right, vars)
+			es := inferShape(c, vars)
+			if rs.isMatrix() && es.isMatrix() && es.Cols == rs.Rows {
+				return n.Right, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func rewriteCall(n *Call, vars map[string]Shape) Node {
+	switch n.Fn {
+	case "t":
+		// t(t(A)) → A.
+		if inner, ok := n.Args[0].(*Call); ok && inner.Fn == "t" {
+			return inner.Args[0]
+		}
+	case "sum":
+		arg := n.Args[0]
+		if b, ok := arg.(*BinOp); ok {
+			// sum(A^2) and sum(A*A) → fused sum-of-squares.
+			if b.Op == "^" && isLit(b.Right, 2) {
+				return &Call{Fn: "__sumsq", Args: []Node{b.Left}, Pos: n.Pos}
+			}
+			if b.Op == "*" && b.Left.String() == b.Right.String() {
+				return &Call{Fn: "__sumsq", Args: []Node{b.Left}, Pos: n.Pos}
+			}
+			// sum(A+B) → sum(A)+sum(B) for same-shape matrices: avoids the
+			// intermediate sum matrix.
+			if b.Op == "+" {
+				ls, rs := inferShape(b.Left, vars), inferShape(b.Right, vars)
+				if ls.isMatrix() && rs.isMatrix() {
+					return &BinOp{
+						Op:   "+",
+						Left: &Call{Fn: "sum", Args: []Node{b.Left}, Pos: n.Pos},
+						Right: &Call{Fn: "sum", Args: []Node{b.Right},
+							Pos: n.Pos},
+						Pos: n.Pos,
+					}
+				}
+			}
+		}
+	case "trace":
+		// trace(A %*% B) → fused pairwise contraction, skipping the product.
+		if b, ok := n.Args[0].(*BinOp); ok && b.Op == "%*%" {
+			return &Call{Fn: "__tracemm", Args: []Node{b.Left, b.Right}, Pos: n.Pos}
+		}
+	}
+	return n
+}
+
+// reorderChain applies the classic matrix-chain-order DP to a %*% chain when
+// every factor's shape is known, minimizing intermediate flops.
+func reorderChain(n *BinOp, vars map[string]Shape) Node {
+	factors := flattenChain(n)
+	if len(factors) < 3 {
+		return n
+	}
+	dims := make([]int, len(factors)+1)
+	for i, f := range factors {
+		s := inferShape(f, vars)
+		if !s.isMatrix() {
+			return n
+		}
+		if i == 0 {
+			dims[0] = s.Rows
+		} else if dims[i] != s.Rows {
+			return n // inconsistent chain; leave for runtime error reporting
+		}
+		dims[i+1] = s.Cols
+	}
+	k := len(factors)
+	// DP over chain splits.
+	cost := make([][]float64, k)
+	split := make([][]int, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		split[i] = make([]int, k)
+	}
+	for span := 1; span < k; span++ {
+		for i := 0; i+span < k; i++ {
+			j := i + span
+			cost[i][j] = math.Inf(1)
+			for s := i; s < j; s++ {
+				c := cost[i][s] + cost[s+1][j] +
+					float64(dims[i])*float64(dims[s+1])*float64(dims[j+1])
+				if c < cost[i][j] {
+					cost[i][j] = c
+					split[i][j] = s
+				}
+			}
+		}
+	}
+	var build func(i, j int) Node
+	build = func(i, j int) Node {
+		if i == j {
+			return factors[i]
+		}
+		s := split[i][j]
+		return &BinOp{Op: "%*%", Left: build(i, s), Right: build(s+1, j), Pos: n.Pos}
+	}
+	return build(0, k-1)
+}
+
+// flattenChain collects the factors of a left-deep (or arbitrary) %*% tree.
+func flattenChain(n Node) []Node {
+	if b, ok := n.(*BinOp); ok && b.Op == "%*%" {
+		return append(flattenChain(b.Left), flattenChain(b.Right)...)
+	}
+	return []Node{n}
+}

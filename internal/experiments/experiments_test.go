@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Integration smoke: every experiment runs at quick scale and produces a
+// well-formed table.
+func TestAllExperimentsRun(t *testing.T) {
+	tables, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 15 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Fatalf("table missing metadata: %+v", tbl)
+		}
+		if seen[tbl.ID] {
+			t.Fatalf("duplicate table id %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s has no rows", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Fatalf("%s row width %d != header %d", tbl.ID, len(row), len(tbl.Header))
+			}
+		}
+		if !strings.Contains(tbl.String(), tbl.ID) {
+			t.Fatalf("%s renders without its id", tbl.ID)
+		}
+	}
+}
+
+func cell(tbl Table, row int, col string) string {
+	for i, h := range tbl.Header {
+		if h == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+func cellFloat(t *testing.T, tbl Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(tbl, row, col), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %s: %v", tbl.ID, row, col, err)
+	}
+	return v
+}
+
+// Shape check: E1's measured factorized speedup must grow with tuple ratio
+// and exceed 1 at the top of the sweep.
+func TestE1SpeedupGrowsWithTupleRatio(t *testing.T) {
+	tbl, err := E1FactorizedVsMaterialized(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRow := len(tbl.Rows) - 1
+	if sp := cellFloat(t, tbl, lastRow, "speedup"); sp <= 1.2 {
+		t.Fatalf("speedup at TR=50 is %v, want > 1.2", sp)
+	}
+	if pred := cellFloat(t, tbl, lastRow, "predicted"); pred <= 1.5 {
+		t.Fatalf("predicted speedup at TR=50 is %v", pred)
+	}
+}
+
+// Shape check: Hamlet's safe-to-avoid scenario shows a near-zero accuracy
+// gap, the keep-the-join scenario a positive one.
+func TestE2GapShapes(t *testing.T) {
+	tbl, err := E2HamletRule(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(tbl, 0, "rule_says") != "avoid" {
+		t.Fatalf("row 0 verdict = %s", cell(tbl, 0, "rule_says"))
+	}
+	if gap := cellFloat(t, tbl, 0, "gap"); gap > 0.05 || gap < -0.05 {
+		t.Fatalf("safe-to-avoid gap = %v", gap)
+	}
+	lastRow := len(tbl.Rows) - 1
+	if cell(tbl, lastRow, "rule_says") != "keep" {
+		t.Fatalf("last verdict = %s", cell(tbl, lastRow, "rule_says"))
+	}
+	if gap := cellFloat(t, tbl, lastRow, "gap"); gap < 0.03 {
+		t.Fatalf("join-needed gap = %v, want clearly positive", gap)
+	}
+}
+
+// Shape check: compression ratio of low-cardinality columns far exceeds the
+// continuous column's.
+func TestE3RatioShapes(t *testing.T) {
+	tbl, err := E3CompressionRatio(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowCardRatio, contRatio float64
+	for i := range tbl.Rows {
+		switch {
+		case cell(tbl, i, "column") == "zipf" && cell(tbl, i, "cardinality") == "4":
+			lowCardRatio = cellFloat(t, tbl, i, "ratio")
+		case cell(tbl, i, "column") == "continuous":
+			contRatio = cellFloat(t, tbl, i, "ratio")
+		}
+	}
+	if lowCardRatio < 4 {
+		t.Fatalf("low-card ratio = %v", lowCardRatio)
+	}
+	if contRatio > 1.05 {
+		t.Fatalf("continuous ratio = %v, want ≈ 1", contRatio)
+	}
+}
+
+// Shape check: successive halving uses far fewer epochs than grid while
+// matching its best score within a small margin.
+func TestE7SearchShapes(t *testing.T) {
+	tbl, err := E7ModelSearch(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridEpochs := cellFloat(t, tbl, 0, "total_epochs")
+	shEpochs := cellFloat(t, tbl, 2, "total_epochs")
+	if shEpochs >= gridEpochs/2 {
+		t.Fatalf("SH epochs %v not ≪ grid %v", shEpochs, gridEpochs)
+	}
+	gridAcc := cellFloat(t, tbl, 0, "best_val_acc")
+	shAcc := cellFloat(t, tbl, 2, "best_val_acc")
+	// Batched grid matches plain grid's best score while sharing scans.
+	if batchedAcc := cellFloat(t, tbl, 1, "best_val_acc"); math.Abs(batchedAcc-gridAcc) > 0.05 {
+		t.Fatalf("batched grid acc %v far from grid %v", batchedAcc, gridAcc)
+	}
+	if shAcc < gridAcc-0.05 {
+		t.Fatalf("SH best acc %v far below grid %v", shAcc, gridAcc)
+	}
+}
+
+// Shape check: Columbus reuse answers all subsets in exactly one data pass.
+func TestE8ReuseShapes(t *testing.T) {
+	tbl, err := E8ColumbusReuse(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes := cell(tbl, 1, "data_passes"); passes != "1" {
+		t.Fatalf("reuse passes = %s", passes)
+	}
+	if delta := cellFloat(t, tbl, 1, "max_mse_delta"); delta > 1e-6 {
+		t.Fatalf("reuse changed models: delta %v", delta)
+	}
+}
+
+// Shape check: E12 shared-gram CV performs k+1 passes vs k·|λ| for naive,
+// and both pick the same λ.
+func TestE12PassShapes(t *testing.T) {
+	tbl, err := E12ReuseAcrossCV(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(tbl, 0, "data_passes") != "40" || cell(tbl, 1, "data_passes") != "6" {
+		t.Fatalf("passes = %s vs %s", cell(tbl, 0, "data_passes"), cell(tbl, 1, "data_passes"))
+	}
+	if cell(tbl, 0, "best_lambda") != cell(tbl, 1, "best_lambda") {
+		t.Fatal("strategies selected different lambdas")
+	}
+}
+
+// Shape check: the planner's chosen plan is competitive with the forced
+// alternative in both crossover regimes.
+func TestE13PlannerCorrect(t *testing.T) {
+	tbl, err := E13PlannerChoice(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Rows {
+		if cell(tbl, i, "correct") != "true" {
+			t.Fatalf("planner row %d incorrect: %v", i, tbl.Rows[i])
+		}
+	}
+	if !strings.HasPrefix(cell(tbl, 0, "chosen_plan"), "factorized") {
+		t.Fatalf("TR=100 chose %s", cell(tbl, 0, "chosen_plan"))
+	}
+	if !strings.HasPrefix(cell(tbl, 1, "chosen_plan"), "materialized") {
+		t.Fatalf("TR=0.2 chose %s", cell(tbl, 1, "chosen_plan"))
+	}
+}
+
+// Shape check: pruning cuts k-means distance evaluations while preserving
+// the objective value.
+func TestAblationPruningShapes(t *testing.T) {
+	tbl, err := EKMeansPruning(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := cellFloat(t, tbl, 0, "dist_evals")
+	pruned := cellFloat(t, tbl, 1, "dist_evals")
+	if pruned >= plain {
+		t.Fatalf("pruning did not cut evals: %v vs %v", pruned, plain)
+	}
+	iPlain := cellFloat(t, tbl, 0, "inertia")
+	iPruned := cellFloat(t, tbl, 1, "inertia")
+	ratio := iPruned / iPlain
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("pruning changed inertia: %v vs %v", iPruned, iPlain)
+	}
+}
+
+// Shape check: co-coding merges the three correlated pairs into three
+// groups, improves the ratio, and preserves results.
+func TestAblationCoCodingShapes(t *testing.T) {
+	tbl, err := EColumnCoCoding(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(tbl, 0, "groups") != "6" || cell(tbl, 1, "groups") != "3" {
+		t.Fatalf("groups = %s vs %s", cell(tbl, 0, "groups"), cell(tbl, 1, "groups"))
+	}
+	if cellFloat(t, tbl, 1, "ratio") <= cellFloat(t, tbl, 0, "ratio") {
+		t.Fatal("co-coding did not improve the ratio")
+	}
+	if cellFloat(t, tbl, 1, "result_delta") > 1e-9 {
+		t.Fatal("co-coding changed results")
+	}
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"os"
+
+	"dmml/internal/compress"
+	"dmml/internal/la"
+)
+
+// tmpDir returns a scratch directory for buffer-pool spills; experiments are
+// harness-level code, so using the process temp dir is acceptable here.
+func tmpDir() string {
+	dir, err := os.MkdirTemp("", "dmml-bench-*")
+	if err != nil {
+		return os.TempDir()
+	}
+	return dir
+}
+
+// Thin aliases keep experiments2.go free of extra imports.
+func laNewDense(rows, cols int) *la.Dense { return la.NewDense(rows, cols) }
+
+func compressCompress(m *la.Dense, coCode bool) *compress.Matrix {
+	return compress.Compress(m, compress.Options{CoCode: coCode})
+}

@@ -1,0 +1,284 @@
+package featureng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmml/internal/la"
+	"dmml/internal/workload"
+)
+
+func TestStandardizer(t *testing.T) {
+	r := rand.New(rand.NewSource(140))
+	x, _, _ := workload.Regression(r, 500, 4, 0)
+	x.Apply(func(v float64) float64 { return v*3 + 7 })
+	s := &Standardizer{}
+	if err := s.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, m := range out.ColMeans() {
+		if math.Abs(m) > 1e-10 {
+			t.Fatalf("col %d mean = %v", j, m)
+		}
+	}
+	for j, sd := range out.ColStds() {
+		if math.Abs(sd-1) > 1e-10 {
+			t.Fatalf("col %d std = %v", j, sd)
+		}
+	}
+	// Unfitted apply fails.
+	if _, err := (&Standardizer{}).Apply(x); err == nil {
+		t.Fatal("want unfitted error")
+	}
+	// Width mismatch fails.
+	if _, err := s.Apply(la.NewDense(3, 2)); err == nil {
+		t.Fatal("want width mismatch error")
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	x, _ := la.FromRows([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	s := &Standardizer{}
+	_ = s.Fit(x)
+	out, err := s.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if out.At(i, 0) != 0 {
+			t.Fatalf("constant column should center to 0, got %v", out.At(i, 0))
+		}
+	}
+}
+
+func TestBinner(t *testing.T) {
+	x, _ := la.FromRows([][]float64{{0}, {2.5}, {5}, {7.5}, {10}})
+	b := &Binner{Bins: 4}
+	if err := b.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2, 3, 3}
+	for i, w := range want {
+		if out.At(i, 0) != w {
+			t.Fatalf("bin[%d] = %v, want %v", i, out.At(i, 0), w)
+		}
+	}
+	// Values beyond the training range clamp.
+	probe, _ := la.FromRows([][]float64{{-100}, {100}})
+	clamped, _ := b.Apply(probe)
+	if clamped.At(0, 0) != 0 || clamped.At(1, 0) != 3 {
+		t.Fatalf("clamping failed: %v", clamped)
+	}
+	if err := (&Binner{Bins: 1}).Fit(x); err == nil {
+		t.Fatal("want bins error")
+	}
+}
+
+func TestHasher(t *testing.T) {
+	r := rand.New(rand.NewSource(141))
+	x, _, _ := workload.Regression(r, 50, 20, 0)
+	h := &Hasher{Dims: 8}
+	if err := h.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := h.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cols() != 8 {
+		t.Fatalf("hashed width = %d", out.Cols())
+	}
+	// Determinism: same input hashes identically.
+	out2, _ := h.Apply(x)
+	if !out.Equal(out2, 0) {
+		t.Fatal("hashing is not deterministic")
+	}
+	if err := (&Hasher{}).Fit(x); err == nil {
+		t.Fatal("want dims error")
+	}
+}
+
+func TestInteractions(t *testing.T) {
+	x, _ := la.FromRows([][]float64{{2, 3}, {4, 5}})
+	tr := &Interactions{Pairs: [][2]int{{0, 1}, {0, 0}}}
+	if err := tr.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cols() != 4 {
+		t.Fatalf("width = %d", out.Cols())
+	}
+	if out.At(0, 2) != 6 || out.At(0, 3) != 4 || out.At(1, 2) != 20 || out.At(1, 3) != 16 {
+		t.Fatalf("interactions = %v", out)
+	}
+	bad := &Interactions{Pairs: [][2]int{{0, 9}}}
+	if err := bad.Fit(x); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(142))
+	x, _, _ := workload.Regression(r, 100, 3, 0)
+	p := &Pipeline{Stages: []Transform{
+		&Standardizer{},
+		&Interactions{Pairs: [][2]int{{0, 1}}},
+	}}
+	if err := p.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cols() != 4 {
+		t.Fatalf("pipeline width = %d", out.Cols())
+	}
+	if p.Name() != "pipeline[standardize→interact(1)]" {
+		t.Fatalf("name = %s", p.Name())
+	}
+}
+
+func subsetsFor(d, count, size int, seed int64) [][]int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]int, count)
+	for i := range out {
+		out[i] = r.Perm(d)[:size]
+	}
+	return out
+}
+
+func TestExploreReuseMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(143))
+	x, y, _ := workload.Regression(r, 400, 12, 0.1)
+	subsets := subsetsFor(12, 10, 5, 7)
+	naive := &Explorer{L2: 0.1}
+	reuse := &Explorer{Reuse: true, L2: 0.1}
+	fitsN, statsN, err := naive.Explore(x, y, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitsR, statsR, err := reuse.Explore(x, y, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fitsN {
+		for j := range fitsN[i].W {
+			if math.Abs(fitsN[i].W[j]-fitsR[i].W[j]) > 1e-8 {
+				t.Fatalf("subset %d w[%d]: naive %v vs reuse %v", i, j, fitsN[i].W[j], fitsR[i].W[j])
+			}
+		}
+		if math.Abs(fitsN[i].TrainMSE-fitsR[i].TrainMSE) > 1e-8 {
+			t.Fatalf("subset %d MSE: %v vs %v", i, fitsN[i].TrainMSE, fitsR[i].TrainMSE)
+		}
+	}
+	// The whole point: reuse does 1 data pass, naive does one per subset.
+	if statsR.DataPasses != 1 {
+		t.Fatalf("reuse passes = %d", statsR.DataPasses)
+	}
+	if statsN.DataPasses != 10 {
+		t.Fatalf("naive passes = %d", statsN.DataPasses)
+	}
+}
+
+func TestExploreTrainMSEIsAccurate(t *testing.T) {
+	r := rand.New(rand.NewSource(144))
+	x, y, _ := workload.Regression(r, 300, 6, 0.2)
+	full := []int{0, 1, 2, 3, 4, 5}
+	fits, _, err := (&Explorer{Reuse: true, L2: 1e-9}).Explore(x, y, [][]int{full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct residual computation must agree with the Gram-space MSE.
+	pred := la.MatVec(x, fits[0].W)
+	var direct float64
+	for i := range y {
+		d := pred[i] - y[i]
+		direct += d * d
+	}
+	direct /= float64(len(y))
+	if math.Abs(direct-fits[0].TrainMSE) > 1e-6 {
+		t.Fatalf("gram-space MSE %v vs direct %v", fits[0].TrainMSE, direct)
+	}
+}
+
+func TestExploreCoreset(t *testing.T) {
+	r := rand.New(rand.NewSource(145))
+	x, y, _ := workload.Regression(r, 2000, 8, 0.05)
+	subsets := [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}
+	full, _, err := (&Explorer{Reuse: true, L2: 0.01}).Explore(x, y, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreset, _, err := (&Explorer{Reuse: true, L2: 0.01, CoresetFrac: 0.25, Seed: 5}).Explore(x, y, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coreset estimates approximate the full fit.
+	for j := range full[0].W {
+		if math.Abs(full[0].W[j]-coreset[0].W[j]) > 0.1 {
+			t.Fatalf("coreset w[%d] = %v, full %v", j, coreset[0].W[j], full[0].W[j])
+		}
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	x := la.NewDense(10, 3)
+	y := make([]float64, 10)
+	e := &Explorer{L2: 0.1}
+	if _, _, err := e.Explore(x, y[:5], [][]int{{0}}); err == nil {
+		t.Fatal("want label mismatch error")
+	}
+	if _, _, err := e.Explore(x, y, nil); err == nil {
+		t.Fatal("want no-subsets error")
+	}
+	if _, _, err := e.Explore(x, y, [][]int{{}}); err == nil {
+		t.Fatal("want empty subset error")
+	}
+	if _, _, err := e.Explore(x, y, [][]int{{9}}); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestGreedyForwardSelection(t *testing.T) {
+	r := rand.New(rand.NewSource(146))
+	// Only features 0 and 3 carry signal.
+	n := 500
+	x := la.NewDense(n, 6)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		y[i] = 3*row[0] - 2*row[3] + 0.01*r.NormFloat64()
+	}
+	sel, mses, err := GreedyForwardSelection(x, y, 3, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sel[0] == 0 || sel[0] == 3) || !(sel[1] == 0 || sel[1] == 3) || sel[0] == sel[1] {
+		t.Fatalf("selected = %v, want {0,3} first", sel)
+	}
+	// MSE trail must be non-increasing.
+	for i := 1; i < len(mses); i++ {
+		if mses[i] > mses[i-1]+1e-9 {
+			t.Fatalf("MSE trail not monotone: %v", mses)
+		}
+	}
+	if _, _, err := GreedyForwardSelection(x, y, 0, 0.1); err == nil {
+		t.Fatal("want maxFeatures error")
+	}
+}

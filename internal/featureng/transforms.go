@@ -1,0 +1,256 @@
+// Package featureng provides feature-engineering primitives and the
+// Columbus-style feature-subset exploration the paper surveys: declarative
+// transform pipelines, and linear-model exploration over many feature
+// subsets that reuses one Gram-matrix computation across all subsets instead
+// of rescanning the data per subset.
+package featureng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"dmml/internal/la"
+)
+
+// Transform is a fit-then-apply feature transformation.
+type Transform interface {
+	// Fit learns transform parameters from training data.
+	Fit(x *la.Dense) error
+	// Apply transforms data using the fitted parameters.
+	Apply(x *la.Dense) (*la.Dense, error)
+	// Name identifies the transform in lineage records.
+	Name() string
+}
+
+// Standardizer centers each column and scales it to unit variance.
+// Zero-variance columns are centered only.
+type Standardizer struct {
+	mean, std []float64
+}
+
+// Fit implements Transform.
+func (s *Standardizer) Fit(x *la.Dense) error {
+	s.mean = x.ColMeans()
+	s.std = x.ColStds()
+	return nil
+}
+
+// Apply implements Transform.
+func (s *Standardizer) Apply(x *la.Dense) (*la.Dense, error) {
+	if s.mean == nil {
+		return nil, fmt.Errorf("featureng: standardizer not fitted")
+	}
+	if x.Cols() != len(s.mean) {
+		return nil, fmt.Errorf("featureng: standardizer fitted on %d cols, got %d", len(s.mean), x.Cols())
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RowView(i)
+		for j := range row {
+			row[j] -= s.mean[j]
+			if s.std[j] > 0 {
+				row[j] /= s.std[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Name implements Transform.
+func (s *Standardizer) Name() string { return "standardize" }
+
+// Binner replaces each value with the index of its equi-width bin, learned
+// per column from the training min/max.
+type Binner struct {
+	Bins     int
+	min, max []float64
+}
+
+// Fit implements Transform.
+func (b *Binner) Fit(x *la.Dense) error {
+	if b.Bins < 2 {
+		return fmt.Errorf("featureng: binner needs ≥ 2 bins, got %d", b.Bins)
+	}
+	d := x.Cols()
+	b.min = make([]float64, d)
+	b.max = make([]float64, d)
+	for j := 0; j < d; j++ {
+		col := x.Col(j)
+		b.min[j], b.max[j] = math.Inf(1), math.Inf(-1)
+		for _, v := range col {
+			b.min[j] = math.Min(b.min[j], v)
+			b.max[j] = math.Max(b.max[j], v)
+		}
+	}
+	return nil
+}
+
+// Apply implements Transform.
+func (b *Binner) Apply(x *la.Dense) (*la.Dense, error) {
+	if b.min == nil {
+		return nil, fmt.Errorf("featureng: binner not fitted")
+	}
+	if x.Cols() != len(b.min) {
+		return nil, fmt.Errorf("featureng: binner fitted on %d cols, got %d", len(b.min), x.Cols())
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RowView(i)
+		for j := range row {
+			width := b.max[j] - b.min[j]
+			if width == 0 {
+				row[j] = 0
+				continue
+			}
+			bin := int((row[j] - b.min[j]) / width * float64(b.Bins))
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= b.Bins {
+				bin = b.Bins - 1
+			}
+			row[j] = float64(bin)
+		}
+	}
+	return out, nil
+}
+
+// Name implements Transform.
+func (b *Binner) Name() string { return fmt.Sprintf("bin(%d)", b.Bins) }
+
+// Hasher applies the hashing trick: each (column, quantized value) pair is
+// hashed into one of Dims buckets with a ±1 sign, producing a fixed-width
+// representation regardless of input cardinality.
+type Hasher struct {
+	Dims int
+}
+
+// Fit implements Transform (stateless).
+func (h *Hasher) Fit(*la.Dense) error {
+	if h.Dims < 1 {
+		return fmt.Errorf("featureng: hasher needs ≥ 1 dims, got %d", h.Dims)
+	}
+	return nil
+}
+
+// Apply implements Transform.
+func (h *Hasher) Apply(x *la.Dense) (*la.Dense, error) {
+	if h.Dims < 1 {
+		return nil, fmt.Errorf("featureng: hasher not fitted")
+	}
+	out := la.NewDense(x.Rows(), h.Dims)
+	var key [16]byte
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		orow := out.RowView(i)
+		for j, v := range row {
+			bits := math.Float64bits(v)
+			for b := 0; b < 8; b++ {
+				key[b] = byte(bits >> (8 * b))
+			}
+			for b := 0; b < 8; b++ {
+				key[8+b] = byte(uint(j) >> (8 * b))
+			}
+			hh := fnv.New64a()
+			hh.Write(key[:])
+			sum := hh.Sum64()
+			bucket := int(sum % uint64(h.Dims))
+			sign := 1.0
+			if (sum>>63)&1 == 1 {
+				sign = -1
+			}
+			orow[bucket] += sign
+		}
+	}
+	return out, nil
+}
+
+// Name implements Transform.
+func (h *Hasher) Name() string { return fmt.Sprintf("hash(%d)", h.Dims) }
+
+// Interactions appends pairwise products of the listed column pairs.
+type Interactions struct {
+	Pairs [][2]int
+	cols  int
+}
+
+// Fit implements Transform.
+func (t *Interactions) Fit(x *la.Dense) error {
+	t.cols = x.Cols()
+	for _, p := range t.Pairs {
+		if p[0] < 0 || p[0] >= t.cols || p[1] < 0 || p[1] >= t.cols {
+			return fmt.Errorf("featureng: interaction pair %v out of range for %d cols", p, t.cols)
+		}
+	}
+	return nil
+}
+
+// Apply implements Transform.
+func (t *Interactions) Apply(x *la.Dense) (*la.Dense, error) {
+	if t.cols == 0 {
+		return nil, fmt.Errorf("featureng: interactions not fitted")
+	}
+	if x.Cols() != t.cols {
+		return nil, fmt.Errorf("featureng: interactions fitted on %d cols, got %d", t.cols, x.Cols())
+	}
+	extra := la.NewDense(x.Rows(), len(t.Pairs))
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		erow := extra.RowView(i)
+		for k, p := range t.Pairs {
+			erow[k] = row[p[0]] * row[p[1]]
+		}
+	}
+	return la.HCat(x, extra)
+}
+
+// Name implements Transform.
+func (t *Interactions) Name() string { return fmt.Sprintf("interact(%d)", len(t.Pairs)) }
+
+// Pipeline chains transforms; Fit fits each stage on the output of the
+// previous one.
+type Pipeline struct {
+	Stages []Transform
+}
+
+// Fit implements Transform.
+func (p *Pipeline) Fit(x *la.Dense) error {
+	cur := x
+	for _, st := range p.Stages {
+		if err := st.Fit(cur); err != nil {
+			return fmt.Errorf("featureng: pipeline stage %s: %w", st.Name(), err)
+		}
+		next, err := st.Apply(cur)
+		if err != nil {
+			return fmt.Errorf("featureng: pipeline stage %s: %w", st.Name(), err)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Apply implements Transform.
+func (p *Pipeline) Apply(x *la.Dense) (*la.Dense, error) {
+	cur := x
+	for _, st := range p.Stages {
+		next, err := st.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("featureng: pipeline stage %s: %w", st.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Name implements Transform.
+func (p *Pipeline) Name() string {
+	name := "pipeline["
+	for i, st := range p.Stages {
+		if i > 0 {
+			name += "→"
+		}
+		name += st.Name()
+	}
+	return name + "]"
+}

@@ -1,0 +1,20 @@
+package hamlet_test
+
+import (
+	"fmt"
+	"log"
+
+	"dmml/internal/hamlet"
+)
+
+// The tuple-ratio rule from schema cardinalities alone: 1M orders over 5k
+// products is safe to learn without joining the product table.
+func ExampleRule_Decide() {
+	dec, err := hamlet.DefaultRule().Decide(1000000, 5000, 10, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuple ratio %.0f, avoid join: %v\n", dec.TupleRatio, dec.Avoid)
+	// Output:
+	// tuple ratio 200, avoid join: true
+}

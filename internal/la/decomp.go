@@ -1,0 +1,328 @@
+package la
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("la: matrix is not positive definite")
+
+// ErrSingular is returned by solvers when the system is singular to working
+// precision.
+var ErrSingular = errors.New("la: matrix is singular")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix A. A is not modified.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("la: Cholesky of non-square %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.RowView(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		lrowj[j] = ljj
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.RowView(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s * inv
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A, via forward
+// then backward substitution.
+func SolveCholesky(l *Dense, b []float64) ([]float64, error) {
+	n := l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("la: SolveCholesky rhs length %d, want %d", len(b), n)
+	}
+	// Forward: L·y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.RowView(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		y[i] = s / row[i]
+	}
+	// Backward: Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b)
+}
+
+// QR holds a Householder QR decomposition of an m×n matrix with m ≥ n.
+// R is upper triangular n×n; Q is represented implicitly by the Householder
+// vectors and can be applied to vectors.
+type QR struct {
+	qr   *Dense    // packed factors: R in upper triangle, v's below
+	tau  []float64 // Householder coefficients
+	m, n int
+}
+
+// QRDecompose computes the Householder QR factorization of a (m ≥ n required).
+func QRDecompose(a *Dense) (*QR, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, fmt.Errorf("la: QRDecompose requires rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder reflector for column k below the diagonal:
+		// H = I − beta·u·uᵀ with u normalized so u[k] = 1; u[k+1:] is stored
+		// in the subdiagonal of column k and beta in tau[k].
+		var normSq float64
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			normSq += v * v
+		}
+		norm := math.Sqrt(normSq)
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		x0 := qr.At(k, k)
+		alpha := norm
+		if x0 > 0 {
+			alpha = -norm // avoid cancellation in v0 = x0 − alpha
+		}
+		v0 := x0 - alpha
+		vTv := 2 * (normSq - alpha*x0)
+		beta := 2 * v0 * v0 / vTv
+		tau[k] = beta
+		invV0 := 1 / v0
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)*invV0)
+		}
+		qr.Set(k, k, alpha)
+		// Apply H to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s *= beta
+			qr.Set(k, j, qr.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)-s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau, m: m, n: n}, nil
+}
+
+// R returns the upper-triangular factor as a dense n×n matrix.
+func (q *QR) R() *Dense {
+	r := NewDense(q.n, q.n)
+	for i := 0; i < q.n; i++ {
+		for j := i; j < q.n; j++ {
+			r.Set(i, j, q.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// QtVec applies Qᵀ to a length-m vector, returning the transformed vector.
+func (q *QR) QtVec(b []float64) []float64 {
+	if len(b) != q.m {
+		panic(fmt.Sprintf("la: QtVec length %d, want %d", len(b), q.m))
+	}
+	y := CloneVec(b)
+	for k := 0; k < q.n; k++ {
+		if q.tau[k] == 0 {
+			continue
+		}
+		s := y[k]
+		for i := k + 1; i < q.m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s *= q.tau[k]
+		y[k] -= s
+		for i := k + 1; i < q.m; i++ {
+			y[i] -= s * q.qr.At(i, k)
+		}
+	}
+	return y
+}
+
+// Solve finds the least-squares solution x minimizing ‖A·x − b‖₂.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	y := q.QtVec(b)
+	x := make([]float64, q.n)
+	for i := q.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < q.n; j++ {
+			s -= q.qr.At(i, j) * x[j]
+		}
+		d := q.qr.At(i, i)
+		if math.Abs(d) < 1e-14 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LstSq computes the least-squares solution of A·x = b via QR.
+func LstSq(a *Dense, b []float64) ([]float64, error) {
+	qr, err := QRDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Solve(b)
+}
+
+// PowerIteration computes the dominant eigenvalue/eigenvector of a symmetric
+// matrix using power iteration with the given starting vector (which must be
+// non-zero). It returns after maxIter iterations or when the eigenvector
+// rotation falls below tol.
+func PowerIteration(a *Dense, start []float64, maxIter int, tol float64) (eigval float64, eigvec []float64, err error) {
+	if a.rows != a.cols {
+		return 0, nil, fmt.Errorf("la: PowerIteration on non-square %dx%d", a.rows, a.cols)
+	}
+	if len(start) != a.rows {
+		return 0, nil, fmt.Errorf("la: PowerIteration start length %d, want %d", len(start), a.rows)
+	}
+	v := CloneVec(start)
+	nrm := Norm2(v)
+	if nrm == 0 {
+		return 0, nil, errors.New("la: PowerIteration zero start vector")
+	}
+	ScaleVec(1/nrm, v)
+	lambda := 0.0
+	for it := 0; it < maxIter; it++ {
+		w := MatVec(a, v)
+		nw := Norm2(w)
+		if nw == 0 {
+			return 0, v, nil // a·v = 0: eigenvalue 0
+		}
+		ScaleVec(1/nw, w)
+		newLambda := Dot(w, MatVec(a, w))
+		diff := 1 - math.Abs(Dot(w, v))
+		v = w
+		lambda = newLambda
+		if diff < tol {
+			break
+		}
+	}
+	return lambda, v, nil
+}
+
+// TopKEigen computes the k largest-magnitude eigenpairs of a symmetric matrix
+// via power iteration with deflation. Start vectors are deterministic.
+func TopKEigen(a *Dense, k, maxIter int, tol float64) (vals []float64, vecs *Dense, err error) {
+	if a.rows != a.cols {
+		return nil, nil, fmt.Errorf("la: TopKEigen on non-square %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("la: TopKEigen k=%d out of range for n=%d", k, n)
+	}
+	work := a.Clone()
+	vals = make([]float64, 0, k)
+	vecs = NewDense(n, k)
+	for j := 0; j < k; j++ {
+		start := make([]float64, n)
+		for i := range start {
+			// Deterministic pseudo-random start, varied per component.
+			start[i] = math.Sin(float64(i+1) * float64(j+3) * 0.7391)
+		}
+		lam, v, perr := PowerIteration(work, start, maxIter, tol)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		vals = append(vals, lam)
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, v[i])
+		}
+		// Deflate: work -= lam * v vᵀ
+		OuterAdd(work, -lam, v, v)
+	}
+	return vals, vecs, nil
+}
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan with
+// partial pivoting. Intended for small matrices (model dimensions), not
+// data-sized ones.
+func Inverse(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("la: Inverse of non-square %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	aug := NewDense(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(aug.RowView(i)[:n], a.RowView(i))
+		aug.Set(i, n+i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug.At(r, col)) > math.Abs(aug.At(piv, col)) {
+				piv = r
+			}
+		}
+		if math.Abs(aug.At(piv, col)) < 1e-14 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			pr, cr := aug.RowView(piv), aug.RowView(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+		}
+		inv := 1 / aug.At(col, col)
+		ScaleVec(inv, aug.RowView(col))
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.At(r, col)
+			if f != 0 {
+				Axpy(-f, aug.RowView(col), aug.RowView(r))
+			}
+		}
+	}
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.RowView(i), aug.RowView(i)[n:])
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package la
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum amount of scalar work (flops) below which
+// kernels stay single-threaded; goroutine fan-out costs more than it saves
+// on small inputs.
+const parallelThreshold = 1 << 18
+
+// parallelRows splits [0,rows) into contiguous chunks and runs fn on each in
+// its own goroutine, bounded by GOMAXPROCS.
+func parallelRows(rows int, work int, fn func(r0, r1 int)) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 || work < parallelThreshold || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	chunks := procs
+	if chunks > rows {
+		chunks = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + chunks - 1) / chunks
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := min(r0+chunk, rows)
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a × b. It panics if the inner dimensions disagree.
+func MatMul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("la: MatMul %dx%d × %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	work := a.rows * a.cols * b.cols
+	parallelRows(a.rows, work, func(r0, r1 int) {
+		gemmRows(a, b, out, r0, r1)
+	})
+	return out
+}
+
+// gemmRows computes out[r0:r1] = a[r0:r1] × b using an ikj loop order so the
+// inner loop streams contiguously over b's rows and out's rows.
+func gemmRows(a, b, out *Dense, r0, r1 int) {
+	n := b.cols
+	for i := r0; i < r1; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatVec returns m × x as a new length-rows vector.
+func MatVec(m *Dense, x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("la: MatVec %dx%d × len %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	parallelRows(m.rows, m.rows*m.cols, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			out[i] = Dot(m.RowView(i), x)
+		}
+	})
+	return out
+}
+
+// VecMat returns xᵀ × m (equivalently mᵀ × x) as a new length-cols vector.
+func VecMat(x []float64, m *Dense) []float64 {
+	if m.rows != len(x) {
+		panic(fmt.Sprintf("la: VecMat len %d × %dx%d", len(x), m.rows, m.cols))
+	}
+	procs := runtime.GOMAXPROCS(0)
+	work := m.rows * m.cols
+	if procs <= 1 || work < parallelThreshold {
+		out := make([]float64, m.cols)
+		for i, xi := range x {
+			if xi == 0 {
+				continue
+			}
+			Axpy(xi, m.RowView(i), out)
+		}
+		return out
+	}
+	// Per-worker partial accumulators avoid write contention on out.
+	chunks := procs
+	if chunks > m.rows {
+		chunks = m.rows
+	}
+	partials := make([][]float64, chunks)
+	var wg sync.WaitGroup
+	chunk := (m.rows + chunks - 1) / chunks
+	idx := 0
+	for r0 := 0; r0 < m.rows; r0 += chunk {
+		r1 := min(r0+chunk, m.rows)
+		wg.Add(1)
+		go func(slot, a, b int) {
+			defer wg.Done()
+			acc := make([]float64, m.cols)
+			for i := a; i < b; i++ {
+				if xi := x[i]; xi != 0 {
+					Axpy(xi, m.RowView(i), acc)
+				}
+			}
+			partials[slot] = acc
+		}(idx, r0, r1)
+		idx++
+	}
+	wg.Wait()
+	out := make([]float64, m.cols)
+	for _, p := range partials[:idx] {
+		Axpy(1, p, out)
+	}
+	return out
+}
+
+// Gram returns XᵀX exploiting symmetry (syrk). The result is cols×cols.
+func Gram(x *Dense) *Dense {
+	d := x.cols
+	out := NewDense(d, d)
+	procs := runtime.GOMAXPROCS(0)
+	work := x.rows * d * d
+	if procs <= 1 || work < parallelThreshold {
+		gramAccum(x, out, 0, x.rows)
+	} else {
+		chunks := procs
+		if chunks > x.rows {
+			chunks = x.rows
+		}
+		accs := make([]*Dense, chunks)
+		var wg sync.WaitGroup
+		chunk := (x.rows + chunks - 1) / chunks
+		idx := 0
+		for r0 := 0; r0 < x.rows; r0 += chunk {
+			r1 := min(r0+chunk, x.rows)
+			wg.Add(1)
+			go func(slot, a, b int) {
+				defer wg.Done()
+				acc := NewDense(d, d)
+				gramAccum(x, acc, a, b)
+				accs[slot] = acc
+			}(idx, r0, r1)
+			idx++
+		}
+		wg.Wait()
+		for _, acc := range accs[:idx] {
+			out.Add(acc)
+		}
+	}
+	// Mirror the upper triangle into the lower triangle.
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			out.data[i*d+j] = out.data[j*d+i]
+		}
+	}
+	return out
+}
+
+// gramAccum adds the upper triangle of X[r0:r1]ᵀ X[r0:r1] into out.
+func gramAccum(x, out *Dense, r0, r1 int) {
+	d := x.cols
+	for i := r0; i < r1; i++ {
+		row := x.RowView(i)
+		for a, va := range row {
+			if va == 0 {
+				continue
+			}
+			orow := out.data[a*d : (a+1)*d]
+			for b := a; b < d; b++ {
+				orow[b] += va * row[b]
+			}
+		}
+	}
+}
+
+// XtY returns Xᵀy for a matrix X and a column vector y of length X.rows.
+func XtY(x *Dense, y []float64) []float64 { return VecMat(y, x) }
+
+// OuterAdd adds alpha * x yᵀ into m in place.
+func OuterAdd(m *Dense, alpha float64, x, y []float64) {
+	if m.rows != len(x) || m.cols != len(y) {
+		panic(fmt.Sprintf("la: OuterAdd %dx%d with len %d, %d", m.rows, m.cols, len(x), len(y)))
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		Axpy(alpha*xi, y, m.RowView(i))
+	}
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func Trace(m *Dense) float64 {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("la: Trace of non-square %dx%d", m.rows, m.cols))
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+i]
+	}
+	return s
+}
+
+// TraceMatMul returns trace(A×B) without materializing the product.
+// A must be p×q and B q×p.
+func TraceMatMul(a, b *Dense) float64 {
+	if a.cols != b.rows || a.rows != b.cols {
+		panic(fmt.Sprintf("la: TraceMatMul %dx%d × %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	var s float64
+	for i := 0; i < a.rows; i++ {
+		arow := a.RowView(i)
+		for k, av := range arow {
+			s += av * b.data[k*b.cols+i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,272 @@
+package la
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix. Column indices within each row are
+// strictly increasing and stored values may include explicit zeros only if
+// inserted deliberately (the constructors drop them).
+type CSR struct {
+	rows, cols int
+	rowPtr     []int // len rows+1
+	colIdx     []int // len nnz
+	vals       []float64
+}
+
+// NewCSR assembles a CSR matrix from raw components, validating the
+// invariants (monotone rowPtr, sorted in-range column indices).
+func NewCSR(rows, cols int, rowPtr, colIdx []int, vals []float64) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("la: NewCSR non-positive dims %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("la: NewCSR rowPtr length %d, want %d", len(rowPtr), rows+1)
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) || len(colIdx) != len(vals) {
+		return nil, fmt.Errorf("la: NewCSR inconsistent nnz bookkeeping")
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("la: NewCSR rowPtr not monotone at row %d", i)
+		}
+		prev := -1
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			c := colIdx[p]
+			if c <= prev || c >= cols {
+				return nil, fmt.Errorf("la: NewCSR bad column %d in row %d", c, i)
+			}
+			prev = c
+		}
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}, nil
+}
+
+// Coord is a single (row, col, value) entry used when building sparse
+// matrices from triplets.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromCoords builds a CSR matrix from unordered triplets. Duplicate (row,col)
+// entries are summed; resulting zeros are kept out of the structure.
+func FromCoords(rows, cols int, entries []Coord) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("la: FromCoords non-positive dims %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("la: FromCoords entry (%d,%d) out of range for %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	rowPtr := make([]int, rows+1)
+	colIdx := make([]int, 0, len(sorted))
+	vals := make([]float64, 0, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for ; j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col; j++ {
+			v += sorted[j].Val
+		}
+		if v != 0 {
+			colIdx = append(colIdx, sorted[i].Col)
+			vals = append(vals, v)
+			rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}, nil
+}
+
+// CSRFromDense converts a dense matrix into CSR, dropping zeros.
+func CSRFromDense(m *Dense) *CSR {
+	rowPtr := make([]int, m.rows+1)
+	nnz := m.NNZ()
+	colIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for i := 0; i < m.rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			if v != 0 {
+				colIdx = append(colIdx, j)
+				vals = append(vals, v)
+			}
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{rows: m.rows, cols: m.cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// ToDense materializes the CSR matrix densely.
+func (s *CSR) ToDense() *Dense {
+	out := NewDense(s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		row := out.RowView(i)
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			row[s.colIdx[p]] = s.vals[p]
+		}
+	}
+	return out
+}
+
+// Dims returns the matrix dimensions.
+func (s *CSR) Dims() (rows, cols int) { return s.rows, s.cols }
+
+// Rows returns the number of rows.
+func (s *CSR) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *CSR) Cols() int { return s.cols }
+
+// NNZ returns the number of stored non-zeros.
+func (s *CSR) NNZ() int { return len(s.vals) }
+
+// Sparsity returns the fraction of zero cells.
+func (s *CSR) Sparsity() float64 {
+	return 1 - float64(s.NNZ())/(float64(s.rows)*float64(s.cols))
+}
+
+// At returns the element at (i, j) using binary search within the row.
+func (s *CSR) At(i, j int) float64 {
+	if i < 0 || i >= s.rows || j < 0 || j >= s.cols {
+		panic(fmt.Sprintf("la: CSR index (%d,%d) out of range for %dx%d", i, j, s.rows, s.cols))
+	}
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	p := lo + sort.SearchInts(s.colIdx[lo:hi], j)
+	if p < hi && s.colIdx[p] == j {
+		return s.vals[p]
+	}
+	return 0
+}
+
+// RowNNZ returns the non-zero column indices and values of row i, aliasing
+// internal storage.
+func (s *CSR) RowNNZ(i int) (cols []int, vals []float64) {
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	return s.colIdx[lo:hi], s.vals[lo:hi]
+}
+
+// MatVec returns s × x.
+func (s *CSR) MatVec(x []float64) []float64 {
+	if s.cols != len(x) {
+		panic(fmt.Sprintf("la: CSR MatVec %dx%d × len %d", s.rows, s.cols, len(x)))
+	}
+	out := make([]float64, s.rows)
+	parallelRows(s.rows, len(s.vals), func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			var acc float64
+			for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+				acc += s.vals[p] * x[s.colIdx[p]]
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}
+
+// VecMat returns xᵀ × s (length cols).
+func (s *CSR) VecMat(x []float64) []float64 {
+	if s.rows != len(x) {
+		panic(fmt.Sprintf("la: CSR VecMat len %d × %dx%d", len(x), s.rows, s.cols))
+	}
+	out := make([]float64, s.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			out[s.colIdx[p]] += xi * s.vals[p]
+		}
+	}
+	return out
+}
+
+// MatMulDense returns s × b for dense b.
+func (s *CSR) MatMulDense(b *Dense) *Dense {
+	if s.cols != b.rows {
+		panic(fmt.Sprintf("la: CSR MatMulDense %dx%d × %dx%d", s.rows, s.cols, b.rows, b.cols))
+	}
+	out := NewDense(s.rows, b.cols)
+	parallelRows(s.rows, len(s.vals)*b.cols, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			orow := out.RowView(i)
+			for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+				Axpy(s.vals[p], b.RowView(s.colIdx[p]), orow)
+			}
+		}
+	})
+	return out
+}
+
+// Gram returns sᵀs as a dense cols×cols matrix.
+func (s *CSR) Gram() *Dense {
+	d := s.cols
+	out := NewDense(d, d)
+	for i := 0; i < s.rows; i++ {
+		cols, vals := s.RowNNZ(i)
+		for a, ca := range cols {
+			va := vals[a]
+			orow := out.RowView(ca)
+			for b := a; b < len(cols); b++ {
+				orow[cols[b]] += va * vals[b]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			out.data[i*d+j] = out.data[j*d+i]
+		}
+	}
+	return out
+}
+
+// Scale multiplies all stored values by a in place and returns s.
+func (s *CSR) Scale(a float64) *CSR {
+	for i := range s.vals {
+		s.vals[i] *= a
+	}
+	return s
+}
+
+// T returns the transpose as a new CSR matrix (built via CSC-style counting).
+func (s *CSR) T() *CSR {
+	rowPtr := make([]int, s.cols+1)
+	for _, c := range s.colIdx {
+		rowPtr[c+1]++
+	}
+	for i := 0; i < s.cols; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, len(s.colIdx))
+	vals := make([]float64, len(s.vals))
+	next := make([]int, s.cols)
+	copy(next, rowPtr[:s.cols])
+	for i := 0; i < s.rows; i++ {
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			c := s.colIdx[p]
+			q := next[c]
+			colIdx[q] = i
+			vals[q] = s.vals[p]
+			next[c]++
+		}
+	}
+	return &CSR{rows: s.cols, cols: s.rows, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// String summarizes the matrix.
+func (s *CSR) String() string {
+	return fmt.Sprintf("CSR{%dx%d, nnz=%d}", s.rows, s.cols, s.NNZ())
+}

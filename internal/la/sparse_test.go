@@ -1,0 +1,179 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSparseDense(r *rand.Rand, rows, cols int, density float64) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.data {
+		if r.Float64() < density {
+			m.data[i] = r.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	m := randSparseDense(r, 40, 25, 0.1)
+	s := CSRFromDense(m)
+	if !s.ToDense().Equal(m, 0) {
+		t.Fatal("CSR round trip mismatch")
+	}
+	if s.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ %d != %d", s.NNZ(), m.NNZ())
+	}
+}
+
+func TestCSRAt(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := randSparseDense(r, 30, 30, 0.15)
+	s := CSRFromDense(m)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if s.At(i, j) != m.At(i, j) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, s.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromCoords(t *testing.T) {
+	s, err := FromCoords(3, 3, []Coord{
+		{0, 1, 2}, {2, 2, 5}, {0, 1, 3}, // duplicate (0,1) sums to 5
+		{1, 0, 1}, {1, 0, -1}, // duplicate cancels to 0, dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(0, 1); got != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", got)
+	}
+	if got := s.At(1, 0); got != 0 {
+		t.Fatalf("At(1,0) = %v, want 0", got)
+	}
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", s.NNZ())
+	}
+	if _, err := FromCoords(2, 2, []Coord{{5, 0, 1}}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	// Unsorted columns within a row must be rejected.
+	if _, err := NewCSR(1, 3, []int{0, 2}, []int{2, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("want error for unsorted columns")
+	}
+	// Column out of range.
+	if _, err := NewCSR(1, 2, []int{0, 1}, []int{5}, []float64{1}); err == nil {
+		t.Fatal("want error for out-of-range column")
+	}
+	// Mismatched nnz.
+	if _, err := NewCSR(1, 2, []int{0, 2}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("want error for inconsistent nnz")
+	}
+	// Valid.
+	s, err := NewCSR(2, 3, []int{0, 2, 3}, []int{0, 2, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1, 1) != 3 {
+		t.Fatalf("At(1,1) = %v", s.At(1, 1))
+	}
+}
+
+func TestCSRMatVecAgainstDense(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m := randSparseDense(r, 80, 33, 0.07)
+	s := CSRFromDense(m)
+	x := make([]float64, 33)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	got := s.MatVec(x)
+	want := MatVec(m, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	y := make([]float64, 80)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	gotV := s.VecMat(y)
+	wantV := VecMat(y, m)
+	for j := range gotV {
+		if math.Abs(gotV[j]-wantV[j]) > 1e-10 {
+			t.Fatalf("VecMat[%d] = %v, want %v", j, gotV[j], wantV[j])
+		}
+	}
+}
+
+func TestCSRMatMulDense(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	m := randSparseDense(r, 45, 20, 0.1)
+	b := randDense(r, 20, 17)
+	got := CSRFromDense(m).MatMulDense(b)
+	want := MatMul(m, b)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("CSR MatMulDense mismatch")
+	}
+}
+
+func TestCSRGram(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	m := randSparseDense(r, 60, 15, 0.2)
+	got := CSRFromDense(m).Gram()
+	want := Gram(m)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("CSR Gram mismatch")
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	m := randSparseDense(r, 23, 41, 0.12)
+	got := CSRFromDense(m).T().ToDense()
+	if !got.Equal(m.T(), 0) {
+		t.Fatal("CSR transpose mismatch")
+	}
+}
+
+func TestCSRScale(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 0}, {0, 2}})
+	s := CSRFromDense(m).Scale(3)
+	if s.At(0, 0) != 3 || s.At(1, 1) != 6 {
+		t.Fatal("Scale mismatch")
+	}
+}
+
+// Property: for random sparse matrices, all CSR ops agree with dense ops.
+func TestCSREquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(30)
+		cols := 1 + r.Intn(30)
+		m := randSparseDense(r, rows, cols, 0.15)
+		s := CSRFromDense(m)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		mv, dv := s.MatVec(x), MatVec(m, x)
+		for i := range mv {
+			if math.Abs(mv[i]-dv[i]) > 1e-9 {
+				return false
+			}
+		}
+		return s.ToDense().Equal(m, 0) && s.T().T().ToDense().Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

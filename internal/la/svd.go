@@ -1,0 +1,139 @@
+package la
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
+// U m×n (orthonormal columns), S descending, V n×n orthogonal.
+type SVDResult struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// SVD computes the thin singular value decomposition of an m×n matrix with
+// m ≥ n via one-sided Jacobi rotations — accurate for the small-to-moderate
+// n the model dimensions in this repository use.
+func SVD(a *Dense, maxSweeps int, tol float64) (*SVDResult, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("la: SVD requires rows >= cols, got %dx%d", m, n)
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	u := a.Clone()
+	v := Identity(n)
+
+	// One-sided Jacobi: orthogonalize column pairs of U, accumulating the
+	// rotations into V.
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					alpha += up * up
+					beta += uq * uq
+					gamma += up * uq
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += gamma * gamma
+				// Jacobi rotation zeroing the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off < tol {
+			break
+		}
+	}
+
+	// Singular values are the column norms of U; normalize columns.
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		col := u.Col(j)
+		sv[j] = Norm2(col)
+		if sv[j] > 0 {
+			inv := 1 / sv[j]
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		}
+	}
+
+	// Sort descending by singular value, permuting U and V columns.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return sv[order[i]] > sv[order[j]] })
+	uSorted := NewDense(m, n)
+	vSorted := NewDense(n, n)
+	sSorted := make([]float64, n)
+	for k, j := range order {
+		sSorted[k] = sv[j]
+		for i := 0; i < m; i++ {
+			uSorted.Set(i, k, u.At(i, j))
+		}
+		for i := 0; i < n; i++ {
+			vSorted.Set(i, k, v.At(i, j))
+		}
+	}
+	return &SVDResult{U: uSorted, S: sSorted, V: vSorted}, nil
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ (for verification and low-rank use).
+func (r *SVDResult) Reconstruct(rank int) (*Dense, error) {
+	n := len(r.S)
+	if rank < 1 || rank > n {
+		return nil, fmt.Errorf("la: rank %d out of range [1,%d]", rank, n)
+	}
+	m := r.U.Rows()
+	us := NewDense(m, rank)
+	for j := 0; j < rank; j++ {
+		for i := 0; i < m; i++ {
+			us.Set(i, j, r.U.At(i, j)*r.S[j])
+		}
+	}
+	vt := r.V.Slice(0, r.V.Rows(), 0, rank).T()
+	return MatMul(us, vt), nil
+}
+
+// Rank estimates the numerical rank at the given relative tolerance.
+func (r *SVDResult) Rank(rel float64) int {
+	if len(r.S) == 0 || r.S[0] == 0 {
+		return 0
+	}
+	rank := 0
+	for _, s := range r.S {
+		if s > rel*r.S[0] {
+			rank++
+		}
+	}
+	return rank
+}

@@ -1,0 +1,98 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVDReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(500))
+	for _, dims := range [][2]int{{5, 3}, {20, 8}, {12, 12}, {30, 1}} {
+		a := randDense(r, dims[0], dims[1])
+		res, err := SVD(a, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := res.Reconstruct(dims[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(a, 1e-8) {
+			t.Fatalf("dims %v: U S Vᵀ != A", dims)
+		}
+		// Singular values descending and non-negative.
+		for i := range res.S {
+			if res.S[i] < 0 {
+				t.Fatalf("negative singular value %v", res.S[i])
+			}
+			if i > 0 && res.S[i] > res.S[i-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", res.S)
+			}
+		}
+		// U has orthonormal columns, V orthogonal.
+		if !Gram(res.U).Equal(Identity(dims[1]), 1e-8) {
+			t.Fatalf("dims %v: UᵀU != I", dims)
+		}
+		if !Gram(res.V).Equal(Identity(dims[1]), 1e-8) {
+			t.Fatalf("dims %v: VᵀV != I", dims)
+		}
+	}
+}
+
+func TestSVDMatchesEigenOfGram(t *testing.T) {
+	// σᵢ² are the eigenvalues of AᵀA.
+	r := rand.New(rand.NewSource(501))
+	a := randDense(r, 40, 5)
+	res, err := SVD(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := TopKEigen(Gram(a), 5, 2000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(res.S[i]*res.S[i]-vals[i]) > 1e-6*(1+vals[i]) {
+			t.Fatalf("σ²[%d] = %v, eig %v", i, res.S[i]*res.S[i], vals[i])
+		}
+	}
+}
+
+func TestSVDLowRank(t *testing.T) {
+	// Build an exactly rank-2 matrix and verify rank detection + truncation.
+	r := rand.New(rand.NewSource(502))
+	u := randDense(r, 30, 2)
+	v := randDense(r, 2, 6)
+	a := MatMul(u, v)
+	res, err := SVD(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank := res.Rank(1e-9); rank != 2 {
+		t.Fatalf("rank = %d, want 2", rank)
+	}
+	back, err := res.Reconstruct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a, 1e-8) {
+		t.Fatal("rank-2 truncation lost information on a rank-2 matrix")
+	}
+}
+
+func TestSVDValidation(t *testing.T) {
+	if _, err := SVD(NewDense(2, 5), 0, 0); err == nil {
+		t.Fatal("want wide-matrix error")
+	}
+	res, _ := SVD(NewDense(3, 2), 0, 0)
+	if _, err := res.Reconstruct(0); err == nil {
+		t.Fatal("want rank error")
+	}
+	if _, err := res.Reconstruct(3); err == nil {
+		t.Fatal("want rank error")
+	}
+	if res.Rank(1e-9) != 0 {
+		t.Fatal("zero matrix should have rank 0")
+	}
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"dmml/internal/la"
+)
+
+// KNN is a k-nearest-neighbor classifier over integer labels (brute force,
+// Euclidean distance, majority vote with nearest-first tie-break).
+type KNN struct {
+	K int
+
+	x *la.Dense
+	y []int
+}
+
+// Fit stores the training set.
+func (m *KNN) Fit(x *la.Dense, y []int) error {
+	n, _ := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	if m.K < 1 || m.K > n {
+		return fmt.Errorf("ml: KNN K=%d out of range for n=%d", m.K, n)
+	}
+	m.x, m.y = x, y
+	return nil
+}
+
+// PredictOne classifies a single point.
+func (m *KNN) PredictOne(p []float64) int {
+	n, _ := m.x.Dims()
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	cands := make([]cand, n)
+	for i := 0; i < n; i++ {
+		diff := la.SubVec(m.x.RowView(i), p)
+		cands[i] = cand{la.Dot(diff, diff), i}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+	votes := map[int]int{}
+	best, bestVotes := m.y[cands[0].idx], 0
+	for _, c := range cands[:m.K] {
+		lbl := m.y[c.idx]
+		votes[lbl]++
+		if votes[lbl] > bestVotes {
+			best, bestVotes = lbl, votes[lbl]
+		}
+	}
+	return best
+}
+
+// Predict classifies every row of x.
+func (m *KNN) Predict(x *la.Dense) []int {
+	n, _ := x.Dims()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.PredictOne(x.RowView(i))
+	}
+	return out
+}

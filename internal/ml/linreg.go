@@ -1,0 +1,106 @@
+// Package ml is dmml's in-database-style algorithm library (the MADlib
+// analog the paper surveys): linear and logistic regression, k-means, naive
+// Bayes, PCA, CART decision trees and k-NN, all built on the la substrate
+// and the opt optimizers.
+package ml
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+	"dmml/internal/opt"
+)
+
+// LinearRegression fits ordinary or ridge least squares. Solver selects the
+// computation: direct normal equations (Cholesky), QR, or conjugate gradient
+// on the Gram matrix — mirroring the direct-vs-iterative choice in-RDBMS
+// analytics systems expose.
+type LinearRegression struct {
+	// L2 is the ridge penalty λ (0 = OLS).
+	L2 float64
+	// Solver selects the fitting algorithm; default SolverNormal.
+	Solver Solver
+	// Intercept adds a bias column internally.
+	Intercept bool
+
+	// W holds the fitted coefficients (without intercept).
+	W []float64
+	// B is the fitted intercept (0 unless Intercept).
+	B float64
+}
+
+// Solver enumerates linear-regression fitting algorithms.
+type Solver int
+
+// Solvers.
+const (
+	// SolverNormal solves (XᵀX+λI)w = Xᵀy by Cholesky.
+	SolverNormal Solver = iota
+	// SolverQR uses a Householder QR least-squares solve (λ must be 0).
+	SolverQR
+	// SolverCG runs conjugate gradient on the normal equations.
+	SolverCG
+)
+
+// Fit estimates the model from x (n×d) and y (len n).
+func (m *LinearRegression) Fit(x *la.Dense, y []float64) error {
+	n, d := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	design := x
+	if m.Intercept {
+		ones := la.NewDense(n, 1)
+		ones.Fill(1)
+		var err error
+		design, err = la.HCat(x, ones)
+		if err != nil {
+			return err
+		}
+		d++
+	}
+	var w []float64
+	var err error
+	switch m.Solver {
+	case SolverQR:
+		if m.L2 != 0 {
+			return fmt.Errorf("ml: QR solver does not support ridge (L2=%v)", m.L2)
+		}
+		w, err = la.LstSq(design, y)
+	case SolverCG:
+		g := la.Gram(design)
+		for j := 0; j < d; j++ {
+			g.Set(j, j, g.At(j, j)+m.L2)
+		}
+		w, _, err = opt.CG(func(v []float64) []float64 { return la.MatVec(g, v) },
+			la.XtY(design, y), 10*d+50, 1e-10)
+	default:
+		g := la.Gram(design)
+		for j := 0; j < d; j++ {
+			g.Set(j, j, g.At(j, j)+m.L2)
+		}
+		w, err = la.SolveSPD(g, la.XtY(design, y))
+	}
+	if err != nil {
+		return fmt.Errorf("ml: linear regression fit: %w", err)
+	}
+	if m.Intercept {
+		m.W = w[:d-1]
+		m.B = w[d-1]
+	} else {
+		m.W = w
+		m.B = 0
+	}
+	return nil
+}
+
+// Predict returns ŷ = X·w + b.
+func (m *LinearRegression) Predict(x *la.Dense) []float64 {
+	out := la.MatVec(x, m.W)
+	if m.B != 0 {
+		for i := range out {
+			out[i] += m.B
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+	"dmml/internal/opt"
+)
+
+// LogisticRegression is a binary classifier over ±1 labels trained by batch
+// gradient descent (default) or SGD.
+type LogisticRegression struct {
+	// L2 regularization strength.
+	L2 float64
+	// UseSGD switches from batch GD to the Bismarck-style SGD path.
+	UseSGD bool
+	// UseLBFGS switches to the limited-memory BFGS batch solver (ignored
+	// when UseSGD is set).
+	UseLBFGS bool
+	// Step is the (initial) learning rate; default 0.5.
+	Step float64
+	// Epochs bounds iterations (GD) or passes (SGD); default 100.
+	Epochs int
+	// Seed for SGD shuffling.
+	Seed int64
+
+	// W holds fitted coefficients.
+	W []float64
+}
+
+// Fit trains on x (n×d) and labels y ∈ {−1,+1}.
+func (m *LogisticRegression) Fit(x *la.Dense, y []float64) error {
+	n, _ := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	for i, v := range y {
+		if v != 1 && v != -1 {
+			return fmt.Errorf("ml: label %v at row %d; logistic regression wants -1/+1", v, i)
+		}
+	}
+	step := m.Step
+	if step == 0 {
+		step = 0.5
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 100
+	}
+	if m.UseSGD {
+		res, err := opt.SGD(opt.DenseRows{M: x}, y, opt.Logistic{},
+			opt.SGDConfig{Step: step, Decay: 0.5, L2: m.L2, Epochs: epochs, Seed: m.Seed})
+		if err != nil {
+			return fmt.Errorf("ml: logistic SGD: %w", err)
+		}
+		m.W = res.W
+		return nil
+	}
+	if m.UseLBFGS {
+		res, err := opt.LBFGS(opt.DenseData{M: x}, y, opt.Logistic{},
+			opt.LBFGSConfig{MaxIter: epochs, L2: m.L2, Tol: 1e-9})
+		if err != nil {
+			return fmt.Errorf("ml: logistic LBFGS: %w", err)
+		}
+		m.W = res.W
+		return nil
+	}
+	res, err := opt.GradientDescent(opt.DenseData{M: x}, y, opt.Logistic{},
+		opt.GDConfig{Step: step, L2: m.L2, MaxIter: epochs, Tol: 1e-9, Backtracking: true})
+	if err != nil {
+		return fmt.Errorf("ml: logistic GD: %w", err)
+	}
+	m.W = res.W
+	return nil
+}
+
+// DecisionFunction returns the margins X·w.
+func (m *LogisticRegression) DecisionFunction(x *la.Dense) []float64 {
+	return la.MatVec(x, m.W)
+}
+
+// PredictProba returns P(y=+1|x) per row.
+func (m *LogisticRegression) PredictProba(x *la.Dense) []float64 {
+	out := m.DecisionFunction(x)
+	for i, v := range out {
+		out[i] = opt.Sigmoid(v)
+	}
+	return out
+}
+
+// Predict returns ±1 labels.
+func (m *LogisticRegression) Predict(x *la.Dense) []float64 {
+	out := m.DecisionFunction(x)
+	for i, v := range out {
+		if v >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

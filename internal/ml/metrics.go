@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accuracy is the fraction of equal entries in pred and truth.
+func Accuracy[T comparable](pred, truth []T) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pred))
+}
+
+// MSE is the mean squared error.
+func MSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// R2 is the coefficient of determination.
+func R2(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range truth {
+		mean += v
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i])
+		ssTot += (truth[i] - mean) * (truth[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// ConfusionMatrix tallies counts[trueClass][predClass] for integer labels.
+func ConfusionMatrix(pred, truth []int) (map[int]map[int]int, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("ml: confusion matrix length mismatch %d vs %d", len(pred), len(truth))
+	}
+	out := map[int]map[int]int{}
+	for i := range pred {
+		row, ok := out[truth[i]]
+		if !ok {
+			row = map[int]int{}
+			out[truth[i]] = row
+		}
+		row[pred[i]]++
+	}
+	return out, nil
+}
+
+// AdjustedRandIndex scores a clustering against ground-truth assignments
+// (1 = identical partitions up to relabeling, ~0 = random).
+func AdjustedRandIndex(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	n := len(a)
+	cont := map[[2]int]int{}
+	aCount := map[int]int{}
+	bCount := map[int]int{}
+	for i := 0; i < n; i++ {
+		cont[[2]int{a[i], b[i]}]++
+		aCount[a[i]]++
+		bCount[b[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCont, sumA, sumB float64
+	for _, v := range cont {
+		sumCont += choose2(v)
+	}
+	for _, v := range aCount {
+		sumA += choose2(v)
+	}
+	for _, v := range bCount {
+		sumB += choose2(v)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1
+	}
+	return (sumCont - expected) / (maxIdx - expected)
+}

@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"dmml/internal/la"
+)
+
+// GaussianNB is a Gaussian naive Bayes classifier over arbitrary integer
+// class labels.
+type GaussianNB struct {
+	// VarSmoothing is added to per-feature variances for stability
+	// (default 1e-9 of the largest feature variance).
+	VarSmoothing float64
+
+	classes []int
+	prior   []float64
+	mean    *la.Dense // class × feature
+	vari    *la.Dense
+}
+
+// Fit estimates per-class feature means/variances and priors.
+func (m *GaussianNB) Fit(x *la.Dense, y []int) error {
+	n, d := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	classIdx := map[int]int{}
+	for _, c := range y {
+		if _, ok := classIdx[c]; !ok {
+			classIdx[c] = len(classIdx)
+			m.classes = append(m.classes, c)
+		}
+	}
+	k := len(m.classes)
+	m.prior = make([]float64, k)
+	m.mean = la.NewDense(k, d)
+	m.vari = la.NewDense(k, d)
+	counts := make([]float64, k)
+	for i := 0; i < n; i++ {
+		ci := classIdx[y[i]]
+		counts[ci]++
+		la.Axpy(1, x.RowView(i), m.mean.RowView(ci))
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			return fmt.Errorf("ml: empty class %d", m.classes[c])
+		}
+		la.ScaleVec(1/counts[c], m.mean.RowView(c))
+		m.prior[c] = counts[c] / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		ci := classIdx[y[i]]
+		row := x.RowView(i)
+		mu := m.mean.RowView(ci)
+		vr := m.vari.RowView(ci)
+		for j := 0; j < d; j++ {
+			dev := row[j] - mu[j]
+			vr[j] += dev * dev
+		}
+	}
+	maxVar := 0.0
+	for c := 0; c < k; c++ {
+		la.ScaleVec(1/counts[c], m.vari.RowView(c))
+		for _, v := range m.vari.RowView(c) {
+			if v > maxVar {
+				maxVar = v
+			}
+		}
+	}
+	smooth := m.VarSmoothing
+	if smooth == 0 {
+		smooth = 1e-9 * math.Max(maxVar, 1)
+	}
+	m.vari.Apply(func(v float64) float64 { return v + smooth })
+	return nil
+}
+
+// Classes returns the label set in first-encounter order.
+func (m *GaussianNB) Classes() []int { return m.classes }
+
+// LogPosterior returns the unnormalized log posterior per class for a point.
+func (m *GaussianNB) LogPosterior(p []float64) []float64 {
+	k := len(m.classes)
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		lp := math.Log(m.prior[c])
+		mu := m.mean.RowView(c)
+		vr := m.vari.RowView(c)
+		for j, v := range p {
+			dev := v - mu[j]
+			lp -= 0.5 * (math.Log(2*math.Pi*vr[j]) + dev*dev/vr[j])
+		}
+		out[c] = lp
+	}
+	return out
+}
+
+// Predict returns the most probable class per row.
+func (m *GaussianNB) Predict(x *la.Dense) []int {
+	n, _ := x.Dims()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.classes[la.ArgMax(m.LogPosterior(x.RowView(i)))]
+	}
+	return out
+}

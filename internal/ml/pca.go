@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+)
+
+// PCA computes the top-K principal components of centered data via power
+// iteration with deflation on the covariance matrix.
+type PCA struct {
+	K int
+	// UseSVD computes components via a singular value decomposition of the
+	// centered data instead of eigendecomposition of the covariance —
+	// numerically preferable when the covariance is ill-conditioned.
+	UseSVD bool
+
+	// Components is d×K: column j is the j-th principal axis.
+	Components *la.Dense
+	// Explained holds the variance captured by each component.
+	Explained []float64
+	// Mean is the per-feature training mean used for centering.
+	Mean []float64
+}
+
+// Fit estimates the components from x (n×d).
+func (m *PCA) Fit(x *la.Dense) error {
+	n, d := x.Dims()
+	if m.K < 1 || m.K > d {
+		return fmt.Errorf("ml: PCA K=%d out of range for d=%d", m.K, d)
+	}
+	if n < 2 {
+		return fmt.Errorf("ml: PCA needs at least 2 rows")
+	}
+	m.Mean = x.ColMeans()
+	centered := x.Clone()
+	for i := 0; i < n; i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= m.Mean[j]
+		}
+	}
+	if m.UseSVD && n >= d {
+		res, err := la.SVD(centered, 0, 0)
+		if err != nil {
+			return fmt.Errorf("ml: PCA svd: %w", err)
+		}
+		m.Components = res.V.Slice(0, d, 0, m.K)
+		m.Explained = make([]float64, m.K)
+		for i := 0; i < m.K; i++ {
+			m.Explained[i] = res.S[i] * res.S[i] / float64(n-1)
+		}
+		return nil
+	}
+	cov := la.Gram(centered).Scale(1 / float64(n-1))
+	vals, vecs, err := la.TopKEigen(cov, m.K, 2000, 1e-12)
+	if err != nil {
+		return fmt.Errorf("ml: PCA eigensolve: %w", err)
+	}
+	m.Components = vecs
+	m.Explained = vals
+	return nil
+}
+
+// Transform projects rows of x onto the fitted components (n×K scores).
+func (m *PCA) Transform(x *la.Dense) *la.Dense {
+	n, _ := x.Dims()
+	centered := x.Clone()
+	for i := 0; i < n; i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= m.Mean[j]
+		}
+	}
+	return la.MatMul(centered, m.Components)
+}
+
+// InverseTransform maps scores back to the original feature space.
+func (m *PCA) InverseTransform(scores *la.Dense) *la.Dense {
+	out := la.MatMul(scores, m.Components.T())
+	n, _ := out.Dims()
+	for i := 0; i < n; i++ {
+		row := out.RowView(i)
+		for j := range row {
+			row[j] += m.Mean[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmml/internal/la"
+)
+
+// SoftmaxRegression is a multinomial logistic classifier over integer class
+// labels, trained by mini-batch SGD on the cross-entropy loss.
+type SoftmaxRegression struct {
+	// L2 regularization strength.
+	L2 float64
+	// Step is the learning rate (default 0.5, decayed per epoch).
+	Step float64
+	// Epochs bounds passes over the data (default 50).
+	Epochs int
+	// BatchSize for gradient averaging (default 32).
+	BatchSize int
+	// Seed for shuffling.
+	Seed int64
+
+	// W is d×K: column c scores class classes[c].
+	W       *la.Dense
+	classes []int
+}
+
+// Fit trains on x (n×d) and integer labels y.
+func (m *SoftmaxRegression) Fit(x *la.Dense, y []int) error {
+	n, dims := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	classIdx := map[int]int{}
+	m.classes = nil
+	for _, c := range y {
+		if _, ok := classIdx[c]; !ok {
+			classIdx[c] = len(classIdx)
+			m.classes = append(m.classes, c)
+		}
+	}
+	k := len(m.classes)
+	if k < 2 {
+		return fmt.Errorf("ml: softmax needs ≥ 2 classes, got %d", k)
+	}
+	step := m.Step
+	if step == 0 {
+		step = 0.5
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 50
+	}
+	batch := m.BatchSize
+	if batch == 0 {
+		batch = 32
+	}
+	m.W = la.NewDense(dims, k)
+	grad := la.NewDense(dims, k)
+	probs := make([]float64, k)
+	rng := rand.New(rand.NewSource(m.Seed))
+	order := rng.Perm(n)
+	for e := 0; e < epochs; e++ {
+		lr := step / (1 + 0.5*float64(e))
+		for b := 0; b < n; b += batch {
+			hi := min(b+batch, n)
+			grad.Zero()
+			for _, i := range order[b:hi] {
+				row := x.RowView(i)
+				m.softmaxInto(row, probs)
+				probs[classIdx[y[i]]] -= 1 // ∂CE/∂score = p − 1{true}
+				// grad += row ⊗ probs
+				for j, xj := range row {
+					if xj == 0 {
+						continue
+					}
+					la.Axpy(xj, probs, grad.RowView(j))
+				}
+			}
+			scale := -lr / float64(hi-b)
+			if m.L2 != 0 {
+				m.W.Scale(1 - lr*m.L2)
+			}
+			m.W.AddScaled(grad, scale)
+		}
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+	return nil
+}
+
+// softmaxInto writes the class probabilities for one example into out.
+func (m *SoftmaxRegression) softmaxInto(row []float64, out []float64) {
+	scores := la.VecMat(row, m.W)
+	mx := scores[la.ArgMax(scores)]
+	total := 0.0
+	for c, s := range scores {
+		out[c] = math.Exp(s - mx)
+		total += out[c]
+	}
+	la.ScaleVec(1/total, out)
+}
+
+// Classes returns the label set in first-encounter order.
+func (m *SoftmaxRegression) Classes() []int { return m.classes }
+
+// PredictProba returns an n×K matrix of class probabilities (column order =
+// Classes()).
+func (m *SoftmaxRegression) PredictProba(x *la.Dense) *la.Dense {
+	n, _ := x.Dims()
+	out := la.NewDense(n, len(m.classes))
+	for i := 0; i < n; i++ {
+		m.softmaxInto(x.RowView(i), out.RowView(i))
+	}
+	return out
+}
+
+// Predict returns the most probable class per row.
+func (m *SoftmaxRegression) Predict(x *la.Dense) []int {
+	n, _ := x.Dims()
+	out := make([]int, n)
+	probs := make([]float64, len(m.classes))
+	for i := 0; i < n; i++ {
+		m.softmaxInto(x.RowView(i), probs)
+		out[i] = m.classes[la.ArgMax(probs)]
+	}
+	return out
+}
+
+// CrossEntropy computes the mean negative log-likelihood over a labeled set.
+func (m *SoftmaxRegression) CrossEntropy(x *la.Dense, y []int) (float64, error) {
+	n, _ := x.Dims()
+	if len(y) != n {
+		return 0, fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	classIdx := map[int]int{}
+	for i, c := range m.classes {
+		classIdx[c] = i
+	}
+	probs := make([]float64, len(m.classes))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		ci, ok := classIdx[y[i]]
+		if !ok {
+			return 0, fmt.Errorf("ml: unseen class %d at row %d", y[i], i)
+		}
+		m.softmaxInto(x.RowView(i), probs)
+		p := probs[ci]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total -= math.Log(p)
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+	"dmml/internal/opt"
+)
+
+// LinearSVM is a linear support-vector classifier over ±1 labels trained by
+// mini-batch subgradient descent on the L2-regularized hinge loss.
+type LinearSVM struct {
+	// C scales the inverse regularization: λ = 1/(C·n). Default 1.
+	C float64
+	// Epochs bounds training passes; default 50.
+	Epochs int
+	// BatchSize for mini-batch updates; default 16.
+	BatchSize int
+	// Seed for shuffling.
+	Seed int64
+
+	// W holds fitted coefficients.
+	W []float64
+}
+
+// Fit trains on x (n×d) and labels y ∈ {−1,+1}.
+func (m *LinearSVM) Fit(x *la.Dense, y []float64) error {
+	n, _ := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	for i, v := range y {
+		if v != 1 && v != -1 {
+			return fmt.Errorf("ml: label %v at row %d; SVM wants -1/+1", v, i)
+		}
+	}
+	c := m.C
+	if c == 0 {
+		c = 1
+	}
+	epochs := m.Epochs
+	if epochs == 0 {
+		epochs = 50
+	}
+	batch := m.BatchSize
+	if batch == 0 {
+		batch = 16
+	}
+	res, err := opt.MiniBatchSGD(opt.DenseRows{M: x}, y, opt.Hinge{}, opt.MiniBatchConfig{
+		Step:      0.5,
+		Decay:     1,
+		L2:        1 / (c * float64(n)),
+		Epochs:    epochs,
+		BatchSize: batch,
+		Seed:      m.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("ml: SVM fit: %w", err)
+	}
+	m.W = res.W
+	return nil
+}
+
+// DecisionFunction returns the margins X·w.
+func (m *LinearSVM) DecisionFunction(x *la.Dense) []float64 {
+	return la.MatVec(x, m.W)
+}
+
+// Predict returns ±1 labels.
+func (m *LinearSVM) Predict(x *la.Dense) []float64 {
+	out := m.DecisionFunction(x)
+	for i, v := range out {
+		if v >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

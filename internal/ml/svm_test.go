@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmml/internal/la"
+	"dmml/internal/workload"
+)
+
+func TestLinearSVM(t *testing.T) {
+	r := rand.New(rand.NewSource(212))
+	x, y, _ := workload.Classification(r, 1500, 6, 0)
+	m := &LinearSVM{C: 10, Epochs: 30, Seed: 1}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m.Predict(x), y); acc < 0.95 {
+		t.Fatalf("SVM accuracy = %v", acc)
+	}
+}
+
+func TestLinearSVMValidation(t *testing.T) {
+	x := la.NewDense(3, 2)
+	if err := (&LinearSVM{}).Fit(x, []float64{1, -1}); err == nil {
+		t.Fatal("want label count error")
+	}
+	if err := (&LinearSVM{}).Fit(x, []float64{0, 1, -1}); err == nil {
+		t.Fatal("want label domain error")
+	}
+}
+
+func TestSoftmaxRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(213))
+	x, truth, _ := workload.ClusteredPoints(r, 900, 4, 3, 1.0)
+	m := &SoftmaxRegression{Epochs: 30, Seed: 2, L2: 1e-4}
+	if err := m.Fit(x, truth); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m.Predict(x), truth); acc < 0.95 {
+		t.Fatalf("softmax accuracy = %v", acc)
+	}
+	if len(m.Classes()) != 3 {
+		t.Fatalf("classes = %v", m.Classes())
+	}
+	// Probabilities sum to 1 per row.
+	probs := m.PredictProba(x.Slice(0, 5, 0, 4))
+	for i := 0; i < 5; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			p := probs.At(i, j)
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range: %v", p)
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d probs sum to %v", i, sum)
+		}
+	}
+	// Cross-entropy on training data is low for a well-fit model.
+	ce, err := m.CrossEntropy(x, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce > 0.3 {
+		t.Fatalf("cross entropy = %v", ce)
+	}
+	if _, err := m.CrossEntropy(x, make([]int, 900)); err == nil {
+		// all-zeros labels include class 0 which exists — build unseen class
+		bad := make([]int, 900)
+		for i := range bad {
+			bad[i] = 99
+		}
+		if _, err := m.CrossEntropy(x, bad); err == nil {
+			t.Fatal("want unseen class error")
+		}
+	}
+}
+
+func TestSoftmaxValidation(t *testing.T) {
+	x := la.NewDense(4, 2)
+	if err := (&SoftmaxRegression{}).Fit(x, []int{0, 0}); err == nil {
+		t.Fatal("want label count error")
+	}
+	if err := (&SoftmaxRegression{}).Fit(x, []int{0, 0, 0, 0}); err == nil {
+		t.Fatal("want single-class error")
+	}
+}
+
+func TestSoftmaxMatchesBinaryLogistic(t *testing.T) {
+	// On a binary problem, softmax and binary logistic should agree on
+	// nearly all predictions.
+	r := rand.New(rand.NewSource(214))
+	x, yf, _ := workload.Classification(r, 1000, 5, 0)
+	yi := make([]int, len(yf))
+	for i, v := range yf {
+		if v > 0 {
+			yi[i] = 1
+		}
+	}
+	sm := &SoftmaxRegression{Epochs: 30, Seed: 3}
+	if err := sm.Fit(x, yi); err != nil {
+		t.Fatal(err)
+	}
+	lr := &LogisticRegression{Epochs: 60}
+	if err := lr.Fit(x, yf); err != nil {
+		t.Fatal(err)
+	}
+	smPred := sm.Predict(x)
+	lrPred := lr.Predict(x)
+	agree := 0
+	for i := range smPred {
+		lrClass := 0
+		if lrPred[i] > 0 {
+			lrClass = 1
+		}
+		if smPred[i] == lrClass {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(smPred)); frac < 0.97 {
+		t.Fatalf("softmax and logistic agree on only %v", frac)
+	}
+}
+
+func TestLogisticLBFGSPath(t *testing.T) {
+	r := rand.New(rand.NewSource(217))
+	x, y, _ := workload.Classification(r, 800, 5, 0.02)
+	m := &LogisticRegression{UseLBFGS: true, Epochs: 50, L2: 1e-3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m.Predict(x), y); acc < 0.95 {
+		t.Fatalf("LBFGS logistic accuracy = %v", acc)
+	}
+}
+
+func TestPCASVDPathMatchesEigen(t *testing.T) {
+	r := rand.New(rand.NewSource(218))
+	x, _, _ := workload.ClusteredPoints(r, 300, 5, 3, 1.0)
+	eig := &PCA{K: 3}
+	svd := &PCA{K: 3, UseSVD: true}
+	if err := eig.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := svd.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if relDiff := (svd.Explained[k] - eig.Explained[k]) / eig.Explained[k]; relDiff > 1e-6 || relDiff < -1e-6 {
+			t.Fatalf("component %d variance: svd %v vs eig %v", k, svd.Explained[k], eig.Explained[k])
+		}
+		// Components match up to sign.
+		dot := 0.0
+		for i := 0; i < 5; i++ {
+			dot += svd.Components.At(i, k) * eig.Components.At(i, k)
+		}
+		if dot < 0 {
+			dot = -dot
+		}
+		if dot < 0.999 {
+			t.Fatalf("component %d axes differ: |cos| = %v", k, dot)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmml/internal/la"
+)
+
+// DecisionTree is a CART classifier over integer labels using Gini impurity.
+type DecisionTree struct {
+	MaxDepth       int // default 10
+	MinSamplesLeaf int // default 1
+
+	root *treeNode
+}
+
+type treeNode struct {
+	// Leaf fields.
+	isLeaf bool
+	label  int
+	// Split fields.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// Fit grows the tree on x and labels y.
+func (m *DecisionTree) Fit(x *la.Dense, y []int) error {
+	n, _ := x.Dims()
+	if len(y) != n {
+		return fmt.Errorf("ml: %d labels for %d rows", len(y), n)
+	}
+	if n == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	maxDepth := m.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 10
+	}
+	minLeaf := m.MinSamplesLeaf
+	if minLeaf == 0 {
+		minLeaf = 1
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = grow(x, y, idx, maxDepth, minLeaf)
+	return nil
+}
+
+func majority(y []int, idx []int) (int, bool) {
+	counts := map[int]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestN, pure := 0, -1, true
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	pure = len(counts) == 1
+	return best, pure
+}
+
+func gini(counts map[int]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, n := range counts {
+		p := float64(n) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func grow(x *la.Dense, y []int, idx []int, depth, minLeaf int) *treeNode {
+	label, pure := majority(y, idx)
+	if pure || depth == 0 || len(idx) < 2*minLeaf {
+		return &treeNode{isLeaf: true, label: label}
+	}
+	_, d := x.Dims()
+	bestFeat, bestThr, bestScore := -1, 0.0, math.Inf(1)
+	bestBalance := math.MaxInt // |nl−nr| tie-break: prefer balanced splits
+	sorted := make([]int, len(idx))
+	for f := 0; f < d; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return x.At(sorted[a], f) < x.At(sorted[b], f) })
+		// Sweep split points, maintaining left/right class counts.
+		leftCounts := map[int]int{}
+		rightCounts := map[int]int{}
+		for _, i := range sorted {
+			rightCounts[y[i]]++
+		}
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			i := sorted[pos]
+			leftCounts[y[i]]++
+			rightCounts[y[i]]--
+			if rightCounts[y[i]] == 0 {
+				delete(rightCounts, y[i])
+			}
+			nl, nr := pos+1, len(sorted)-pos-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			a, b := x.At(i, f), x.At(sorted[pos+1], f)
+			if a == b {
+				continue // cannot split between equal values
+			}
+			score := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(len(sorted))
+			balance := nl - nr
+			if balance < 0 {
+				balance = -balance
+			}
+			if score < bestScore-1e-12 || (score < bestScore+1e-12 && balance < bestBalance) {
+				bestScore, bestFeat, bestThr, bestBalance = score, f, (a+b)/2, balance
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{isLeaf: true, label: label}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x.At(i, bestFeat) <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return &treeNode{isLeaf: true, label: label}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      grow(x, y, leftIdx, depth-1, minLeaf),
+		right:     grow(x, y, rightIdx, depth-1, minLeaf),
+	}
+}
+
+// PredictOne classifies a single point.
+func (m *DecisionTree) PredictOne(p []float64) int {
+	node := m.root
+	for !node.isLeaf {
+		if p[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.label
+}
+
+// Predict classifies every row.
+func (m *DecisionTree) Predict(x *la.Dense) []int {
+	n, _ := x.Dims()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.PredictOne(x.RowView(i))
+	}
+	return out
+}
+
+// Depth returns the fitted tree depth (0 for a single leaf).
+func (m *DecisionTree) Depth() int { return nodeDepth(m.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.isLeaf {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,20 @@
+package modelsel_test
+
+import (
+	"fmt"
+
+	"dmml/internal/modelsel"
+)
+
+// Expanding a declarative hyperparameter grid.
+func ExampleGrid() {
+	configs := modelsel.Grid(map[string][]float64{
+		"step": {0.1, 0.5},
+		"l2":   {0, 0.01},
+	})
+	fmt.Println("configs:", len(configs))
+	fmt.Printf("first: step=%v l2=%v\n", configs[0]["step"], configs[0]["l2"])
+	// Output:
+	// configs: 4
+	// first: step=0.1 l2=0
+}

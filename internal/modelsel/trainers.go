@@ -1,0 +1,314 @@
+package modelsel
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+	"dmml/internal/opt"
+)
+
+// SGDTrainer instantiates incrementally trainable logistic-regression models
+// from configs with keys "step" and "l2", scored by validation accuracy.
+// It is the Trainer used by the model-search experiments.
+type SGDTrainer struct {
+	XTrain *la.Dense
+	YTrain []float64
+	XVal   *la.Dense
+	YVal   []float64
+	Seed   int64
+}
+
+// New implements Trainer.
+func (t *SGDTrainer) New(cfg Config) (Model, error) {
+	step, ok := cfg["step"]
+	if !ok || step <= 0 {
+		return nil, fmt.Errorf("modelsel: config needs positive \"step\", got %v", cfg["step"])
+	}
+	if t.XTrain == nil || t.XVal == nil {
+		return nil, fmt.Errorf("modelsel: SGDTrainer missing data")
+	}
+	agg := &opt.SGDAggregate{Loss: opt.Logistic{}, L2: cfg["l2"]}
+	agg.Initialize(t.XTrain.Cols())
+	return &sgdModel{t: t, agg: agg, step: step}, nil
+}
+
+type sgdModel struct {
+	t      *SGDTrainer
+	agg    *opt.SGDAggregate
+	step   float64
+	epochs int
+}
+
+// Train implements Model: run additional SGD passes with per-epoch decay,
+// continuing from the current state (the property successive halving needs).
+func (m *sgdModel) Train(epochs int) error {
+	if epochs <= 0 {
+		return fmt.Errorf("modelsel: Train epochs must be > 0")
+	}
+	n := m.t.XTrain.Rows()
+	for e := 0; e < epochs; e++ {
+		m.agg.Step = m.step / (1 + 0.5*float64(m.epochs))
+		// Deterministic rotation through a seeded permutation per epoch.
+		perm := permForEpoch(n, m.t.Seed, m.epochs)
+		for _, i := range perm {
+			m.agg.Transition(m.t.XTrain.RowView(i), m.t.YTrain[i])
+		}
+		m.epochs++
+	}
+	return nil
+}
+
+// Score implements Model: validation accuracy.
+func (m *sgdModel) Score() (float64, error) {
+	w := m.agg.W
+	correct := 0
+	for i := 0; i < m.t.XVal.Rows(); i++ {
+		margin := la.Dot(w, m.t.XVal.RowView(i))
+		if (margin >= 0) == (m.t.YVal[i] > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(m.t.XVal.Rows()), nil
+}
+
+// EpochsTrained implements Model.
+func (m *sgdModel) EpochsTrained() int { return m.epochs }
+
+// permForEpoch derives a deterministic permutation for (seed, epoch).
+func permForEpoch(n int, seed int64, epoch int) []int {
+	// Multiplicative stride permutation: cheap, deterministic, epoch-varying.
+	stride := int64(2*epoch+3)*2654435761 + seed
+	out := make([]int, n)
+	s := int(((stride % int64(n)) + int64(n)) % int64(n))
+	if s == 0 {
+		s = 1
+	}
+	// Ensure stride is coprime with n by falling back to +1 scans.
+	for gcd(s, n) != 1 {
+		s++
+		if s >= n {
+			s = 1
+			break
+		}
+	}
+	at := 0
+	for i := range out {
+		out[i] = at
+		at = (at + s) % n
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// RidgeCVResult is the cross-validated error of one ridge penalty.
+type RidgeCVResult struct {
+	Lambda  float64
+	MeanMSE float64
+}
+
+// RidgeCVShared evaluates every λ across k folds while computing the data-
+// dependent intermediates only once: the full Gram/correlation plus one
+// small Gram per fold's test block; every (λ, fold) pair is then answered
+// algebraically with zero extra data passes. This is the
+// reuse-of-intermediates pattern (Columbus / lifecycle systems) that E12
+// measures. It returns the results sorted by MeanMSE and the number of data
+// passes performed.
+func RidgeCVShared(x *la.Dense, y []float64, lambdas []float64, k int, seed int64) ([]RidgeCVResult, int, error) {
+	n, d := x.Dims()
+	if len(y) != n {
+		return nil, 0, fmt.Errorf("modelsel: %d labels for %d rows", len(y), n)
+	}
+	if len(lambdas) == 0 {
+		return nil, 0, fmt.Errorf("modelsel: no lambdas")
+	}
+	folds, err := KFold(n, k, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	passes := 1
+	gFull := la.Gram(x)
+	cFull := la.XtY(x, y)
+
+	type foldBlocks struct {
+		gTest   *la.Dense
+		cTest   []float64
+		yTestSq float64
+		nTest   int
+	}
+	blocks := make([]foldBlocks, k)
+	for f, pair := range folds {
+		test := pair[1]
+		xt := x.SelectRows(test)
+		yt := make([]float64, len(test))
+		for i, r := range test {
+			yt[i] = y[r]
+		}
+		passes++ // one scan over the fold's test block
+		blocks[f] = foldBlocks{
+			gTest:   la.Gram(xt),
+			cTest:   la.XtY(xt, yt),
+			yTestSq: la.Dot(yt, yt),
+			nTest:   len(test),
+		}
+	}
+
+	out := make([]RidgeCVResult, 0, len(lambdas))
+	for _, lam := range lambdas {
+		total := 0.0
+		for f := range folds {
+			b := blocks[f]
+			gTrain := gFull.Clone().Sub(b.gTest)
+			cTrain := la.SubVec(cFull, b.cTest)
+			for j := 0; j < d; j++ {
+				gTrain.Set(j, j, gTrain.At(j, j)+lam)
+			}
+			w, err := la.SolveSPD(gTrain, cTrain)
+			if err != nil {
+				return nil, passes, fmt.Errorf("modelsel: lambda %v fold %d: %w", lam, f, err)
+			}
+			// Test MSE from Gram-space identities, no data pass.
+			gw := la.MatVec(b.gTest, w)
+			mse := (la.Dot(w, gw) - 2*la.Dot(w, b.cTest) + b.yTestSq) / float64(b.nTest)
+			if mse < 0 {
+				mse = 0
+			}
+			total += mse
+		}
+		out = append(out, RidgeCVResult{Lambda: lam, MeanMSE: total / float64(k)})
+	}
+	sortRidge(out)
+	return out, passes, nil
+}
+
+// RidgeCVNaive evaluates every (λ, fold) pair independently, rescanning the
+// training rows each time — the no-reuse baseline.
+func RidgeCVNaive(x *la.Dense, y []float64, lambdas []float64, k int, seed int64) ([]RidgeCVResult, int, error) {
+	n, d := x.Dims()
+	if len(y) != n {
+		return nil, 0, fmt.Errorf("modelsel: %d labels for %d rows", len(y), n)
+	}
+	if len(lambdas) == 0 {
+		return nil, 0, fmt.Errorf("modelsel: no lambdas")
+	}
+	folds, err := KFold(n, k, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	passes := 0
+	out := make([]RidgeCVResult, 0, len(lambdas))
+	for _, lam := range lambdas {
+		total := 0.0
+		for f, pair := range folds {
+			train, test := pair[0], pair[1]
+			xtr := x.SelectRows(train)
+			ytr := make([]float64, len(train))
+			for i, r := range train {
+				ytr[i] = y[r]
+			}
+			passes++ // full train-block scan per (λ, fold)
+			g := la.Gram(xtr)
+			for j := 0; j < d; j++ {
+				g.Set(j, j, g.At(j, j)+lam)
+			}
+			w, err := la.SolveSPD(g, la.XtY(xtr, ytr))
+			if err != nil {
+				return nil, passes, fmt.Errorf("modelsel: lambda %v fold %d: %w", lam, f, err)
+			}
+			var mse float64
+			for _, r := range test {
+				dlt := la.Dot(w, x.RowView(r)) - y[r]
+				mse += dlt * dlt
+			}
+			total += mse / float64(len(test))
+		}
+		out = append(out, RidgeCVResult{Lambda: lam, MeanMSE: total / float64(k)})
+	}
+	sortRidge(out)
+	return out, passes, nil
+}
+
+func sortRidge(rs []RidgeCVResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].MeanMSE < rs[j-1].MeanMSE; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// BatchResult is one model from a batched training pass.
+type BatchResult struct {
+	Config Config
+	W      []float64
+	Score  float64
+}
+
+// TrainBatched trains every config simultaneously with ONE pass over the
+// data per epoch — TuPAQ's batching optimization: the example is loaded
+// once and all k models update against it, amortizing data access across
+// the whole search batch. Scores are validation accuracies.
+func TrainBatched(t *SGDTrainer, configs []Config, epochs int) ([]BatchResult, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("modelsel: no configs")
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("modelsel: epochs must be > 0")
+	}
+	if t.XTrain == nil || t.XVal == nil {
+		return nil, fmt.Errorf("modelsel: trainer missing data")
+	}
+	d := t.XTrain.Cols()
+	n := t.XTrain.Rows()
+	type armState struct {
+		w    []float64
+		step float64
+		l2   float64
+	}
+	arms := make([]armState, len(configs))
+	for i, cfg := range configs {
+		if cfg["step"] <= 0 {
+			return nil, fmt.Errorf("modelsel: config %d needs positive \"step\"", i)
+		}
+		arms[i] = armState{w: make([]float64, d), step: cfg["step"], l2: cfg["l2"]}
+	}
+	loss := opt.Logistic{}
+	for e := 0; e < epochs; e++ {
+		perm := permForEpoch(n, t.Seed, e)
+		for _, idx := range perm {
+			x := t.XTrain.RowView(idx)
+			y := t.YTrain[idx]
+			// One row load feeds every model's update.
+			for a := range arms {
+				arm := &arms[a]
+				step := arm.step / (1 + 0.5*float64(e))
+				g := loss.Deriv(la.Dot(arm.w, x), y)
+				if arm.l2 != 0 {
+					la.ScaleVec(1-step*arm.l2, arm.w)
+				}
+				if g != 0 {
+					la.Axpy(-step*g, x, arm.w)
+				}
+			}
+		}
+	}
+	out := make([]BatchResult, len(configs))
+	for i := range arms {
+		correct := 0
+		for r := 0; r < t.XVal.Rows(); r++ {
+			if (la.Dot(arms[i].w, t.XVal.RowView(r)) >= 0) == (t.YVal[r] > 0) {
+				correct++
+			}
+		}
+		out[i] = BatchResult{
+			Config: configs[i].clone(),
+			W:      arms[i].w,
+			Score:  float64(correct) / float64(t.XVal.Rows()),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package opt
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+)
+
+// BulkData abstracts the bulk linear-algebra access pattern needed by batch
+// gradient descent: X·v and xᵀ·X. la.Dense, la.CSR, compressed matrices and
+// factorized joins all satisfy it through thin adapters.
+type BulkData interface {
+	Rows() int
+	Cols() int
+	MatVec(v []float64) []float64
+	VecMat(x []float64) []float64
+}
+
+// DenseData adapts *la.Dense to BulkData.
+type DenseData struct{ M *la.Dense }
+
+// Rows implements BulkData.
+func (d DenseData) Rows() int { return d.M.Rows() }
+
+// Cols implements BulkData.
+func (d DenseData) Cols() int { return d.M.Cols() }
+
+// MatVec implements BulkData.
+func (d DenseData) MatVec(v []float64) []float64 { return la.MatVec(d.M, v) }
+
+// VecMat implements BulkData.
+func (d DenseData) VecMat(x []float64) []float64 { return la.VecMat(x, d.M) }
+
+// CSRData adapts *la.CSR to BulkData.
+type CSRData struct{ M *la.CSR }
+
+// Rows implements BulkData.
+func (d CSRData) Rows() int { return d.M.Rows() }
+
+// Cols implements BulkData.
+func (d CSRData) Cols() int { return d.M.Cols() }
+
+// MatVec implements BulkData.
+func (d CSRData) MatVec(v []float64) []float64 { return d.M.MatVec(v) }
+
+// VecMat implements BulkData.
+func (d CSRData) VecMat(x []float64) []float64 { return d.M.VecMat(x) }
+
+// LossAndGradient computes the mean loss and its gradient at w, including an
+// L2 penalty of λ/2·‖w‖² (bias-inclusive; exclude the bias by passing λ=0
+// and regularizing externally if needed).
+func LossAndGradient(data BulkData, y, w []float64, loss Loss, l2 float64) (float64, []float64) {
+	n := data.Rows()
+	if len(y) != n {
+		panic(fmt.Sprintf("opt: %d labels for %d rows", len(y), n))
+	}
+	margins := data.MatVec(w)
+	derivs := make([]float64, n)
+	total := 0.0
+	for i, m := range margins {
+		total += loss.Value(m, y[i])
+		derivs[i] = loss.Deriv(m, y[i])
+	}
+	grad := data.VecMat(derivs)
+	invN := 1 / float64(n)
+	for j := range grad {
+		grad[j] = grad[j]*invN + l2*w[j]
+	}
+	return total*invN + 0.5*l2*la.Dot(w, w), grad
+}
+
+// GDConfig configures full-batch gradient descent.
+type GDConfig struct {
+	Step    float64 // initial step size (required > 0)
+	L2      float64 // L2 regularization strength
+	MaxIter int     // maximum iterations (required > 0)
+	Tol     float64 // stop when |Δloss| < Tol (0 disables)
+	// Backtracking halves the step while the update does not decrease the
+	// loss, making plain GD robust to an aggressive Step.
+	Backtracking bool
+}
+
+// GDResult reports the fit.
+type GDResult struct {
+	W       []float64
+	History []float64 // loss per iteration (before each step), incl. final
+	Iters   int
+}
+
+// GradientDescent minimizes the regularized empirical risk by full-batch
+// gradient descent.
+func GradientDescent(data BulkData, y []float64, loss Loss, cfg GDConfig) (*GDResult, error) {
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("opt: GD step must be > 0, got %v", cfg.Step)
+	}
+	if cfg.MaxIter <= 0 {
+		return nil, fmt.Errorf("opt: GD MaxIter must be > 0, got %d", cfg.MaxIter)
+	}
+	if data.Rows() != len(y) {
+		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), data.Rows())
+	}
+	d := data.Cols()
+	w := make([]float64, d)
+	res := &GDResult{}
+	step := cfg.Step
+	prev, grad := LossAndGradient(data, y, w, loss, cfg.L2)
+	for it := 0; it < cfg.MaxIter; it++ {
+		res.History = append(res.History, prev)
+		cand := la.CloneVec(w)
+		la.Axpy(-step, grad, cand)
+		cur, curGrad := LossAndGradient(data, y, cand, loss, cfg.L2)
+		if cfg.Backtracking {
+			for cur > prev && step > 1e-12 {
+				step /= 2
+				cand = la.CloneVec(w)
+				la.Axpy(-step, grad, cand)
+				cur, curGrad = LossAndGradient(data, y, cand, loss, cfg.L2)
+			}
+		}
+		w, grad = cand, curGrad
+		res.Iters = it + 1
+		if cfg.Tol > 0 && abs(prev-cur) < cfg.Tol {
+			prev = cur
+			break
+		}
+		prev = cur
+	}
+	res.History = append(res.History, prev)
+	res.W = w
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CG solves A·x = b for symmetric positive-definite A given only the
+// matrix–vector product apply. It returns after maxIter iterations or when
+// the residual norm falls below tol.
+func CG(apply func(v []float64) []float64, b []float64, maxIter int, tol float64) ([]float64, int, error) {
+	if maxIter <= 0 {
+		return nil, 0, fmt.Errorf("opt: CG maxIter must be > 0")
+	}
+	n := len(b)
+	x := make([]float64, n)
+	r := la.CloneVec(b) // r = b − A·0
+	p := la.CloneVec(r)
+	rs := la.Dot(r, r)
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		iters = it + 1
+		ap := apply(p)
+		pap := la.Dot(p, ap)
+		if pap <= 0 {
+			return nil, iters, fmt.Errorf("opt: CG detected a non-positive-definite operator")
+		}
+		alpha := rs / pap
+		la.Axpy(alpha, p, x)
+		la.Axpy(-alpha, ap, r)
+		rsNew := la.Dot(r, r)
+		if rsNew < tol*tol {
+			break
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x, iters, nil
+}

@@ -1,0 +1,121 @@
+package opt
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+)
+
+// LBFGSConfig configures the limited-memory BFGS optimizer.
+type LBFGSConfig struct {
+	// Memory is the number of correction pairs kept (default 8).
+	Memory int
+	// MaxIter bounds iterations (required > 0).
+	MaxIter int
+	// Tol stops when the gradient infinity-norm falls below it (default 1e-8).
+	Tol float64
+	// L2 regularization strength.
+	L2 float64
+}
+
+// LBFGSResult reports the fit.
+type LBFGSResult struct {
+	W       []float64
+	History []float64 // loss at each iteration (including final)
+	Iters   int
+}
+
+// LBFGS minimizes the regularized empirical risk with the two-loop-recursion
+// limited-memory BFGS method and a backtracking Armijo line search — the
+// batch second-order solver declarative ML systems run when SGD's
+// per-iteration cheapness is not worth its iteration count.
+func LBFGS(data BulkData, y []float64, loss Loss, cfg LBFGSConfig) (*LBFGSResult, error) {
+	if cfg.MaxIter <= 0 {
+		return nil, fmt.Errorf("opt: LBFGS MaxIter must be > 0")
+	}
+	if data.Rows() != len(y) {
+		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), data.Rows())
+	}
+	mem := cfg.Memory
+	if mem <= 0 {
+		mem = 8
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	d := data.Cols()
+	w := make([]float64, d)
+	fw, grad := LossAndGradient(data, y, w, loss, cfg.L2)
+
+	type pair struct {
+		s, yv []float64
+		rho   float64
+	}
+	var hist []pair
+	res := &LBFGSResult{}
+	for it := 0; it < cfg.MaxIter; it++ {
+		res.History = append(res.History, fw)
+		res.Iters = it + 1
+		if la.NormInf(grad) < tol {
+			break
+		}
+		// Two-loop recursion: dir = −H·grad.
+		q := la.CloneVec(grad)
+		alphas := make([]float64, len(hist))
+		for i := len(hist) - 1; i >= 0; i-- {
+			alphas[i] = hist[i].rho * la.Dot(hist[i].s, q)
+			la.Axpy(-alphas[i], hist[i].yv, q)
+		}
+		if n := len(hist); n > 0 {
+			// Initial Hessian scaling γ = sᵀy / yᵀy.
+			last := hist[n-1]
+			gamma := la.Dot(last.s, last.yv) / la.Dot(last.yv, last.yv)
+			la.ScaleVec(gamma, q)
+		}
+		for i := range hist {
+			beta := hist[i].rho * la.Dot(hist[i].yv, q)
+			la.Axpy(alphas[i]-beta, hist[i].s, q)
+		}
+		dir := q
+		la.ScaleVec(-1, dir)
+		// Ensure descent; fall back to steepest descent otherwise.
+		if la.Dot(dir, grad) >= 0 {
+			dir = la.CloneVec(grad)
+			la.ScaleVec(-1, dir)
+		}
+
+		// Backtracking Armijo line search.
+		step := 1.0
+		gd := la.Dot(grad, dir)
+		const c1 = 1e-4
+		var wNew []float64
+		var fNew float64
+		var gNew []float64
+		for {
+			wNew = la.CloneVec(w)
+			la.Axpy(step, dir, wNew)
+			fNew, gNew = LossAndGradient(data, y, wNew, loss, cfg.L2)
+			if fNew <= fw+c1*step*gd || step < 1e-14 {
+				break
+			}
+			step /= 2
+		}
+		if step < 1e-14 && fNew > fw {
+			// No progress possible along this direction; converged enough.
+			break
+		}
+		s := la.SubVec(wNew, w)
+		yv := la.SubVec(gNew, grad)
+		if sy := la.Dot(s, yv); sy > 1e-12 {
+			hist = append(hist, pair{s: s, yv: yv, rho: 1 / sy})
+			if len(hist) > mem {
+				hist = hist[1:]
+			}
+		}
+		w, fw, grad = wNew, fNew, gNew
+	}
+	res.History = append(res.History, fw)
+	res.W = w
+	return res, nil
+}

@@ -1,0 +1,91 @@
+// Package opt provides gradient-based optimization for generalized linear
+// models: pluggable margin-based losses, full-batch gradient descent,
+// stochastic gradient descent with a Bismarck-style unified aggregate (UDA)
+// architecture, parallel SGD (shared-model and model-averaging), and a
+// conjugate-gradient solver.
+//
+// Conventions: a model is a weight vector w; the margin for example x is
+// m = w·x; classification labels are −1/+1; regression targets are real.
+package opt
+
+import "math"
+
+// Loss is a margin-based loss: given the margin m = w·x and the label y it
+// yields the loss value and its derivative with respect to the margin.
+type Loss interface {
+	// Value returns L(m, y).
+	Value(m, y float64) float64
+	// Deriv returns ∂L/∂m.
+	Deriv(m, y float64) float64
+	// Name identifies the loss in reports.
+	Name() string
+}
+
+// Squared is the squared-error loss ½(m−y)², for regression.
+type Squared struct{}
+
+// Value implements Loss.
+func (Squared) Value(m, y float64) float64 { d := m - y; return 0.5 * d * d }
+
+// Deriv implements Loss.
+func (Squared) Deriv(m, y float64) float64 { return m - y }
+
+// Name implements Loss.
+func (Squared) Name() string { return "squared" }
+
+// Logistic is the logistic loss log(1+exp(−y·m)), labels −1/+1.
+type Logistic struct{}
+
+// Value implements Loss.
+func (Logistic) Value(m, y float64) float64 {
+	z := y * m
+	if z > 35 {
+		return 0
+	}
+	if z < -35 {
+		return -z
+	}
+	return math.Log1p(math.Exp(-z))
+}
+
+// Deriv implements Loss.
+func (Logistic) Deriv(m, y float64) float64 {
+	z := y * m
+	// −y·σ(−z)
+	if z > 35 {
+		return 0
+	}
+	if z < -35 {
+		return -y
+	}
+	return -y / (1 + math.Exp(z))
+}
+
+// Name implements Loss.
+func (Logistic) Name() string { return "logistic" }
+
+// Hinge is the SVM hinge loss max(0, 1−y·m), labels −1/+1.
+type Hinge struct{}
+
+// Value implements Loss.
+func (Hinge) Value(m, y float64) float64 { return math.Max(0, 1-y*m) }
+
+// Deriv implements Loss (a subgradient).
+func (Hinge) Deriv(m, y float64) float64 {
+	if y*m < 1 {
+		return -y
+	}
+	return 0
+}
+
+// Name implements Loss.
+func (Hinge) Name() string { return "hinge" }
+
+// Sigmoid is the logistic link 1/(1+e^{−m}).
+func Sigmoid(m float64) float64 {
+	if m >= 0 {
+		return 1 / (1 + math.Exp(-m))
+	}
+	e := math.Exp(m)
+	return e / (1 + e)
+}

@@ -1,0 +1,111 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmml/internal/la"
+)
+
+func TestMiniBatchSGDConverges(t *testing.T) {
+	r := rand.New(rand.NewSource(210))
+	x, y, _ := synthClassification(r, 2000, 6)
+	res, err := MiniBatchSGD(DenseRows{x}, y, Logistic{}, MiniBatchConfig{
+		Step: 0.5, Decay: 0.5, Epochs: 10, BatchSize: 32, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := res.EpochLoss[len(res.EpochLoss)-1]; final > 0.2 {
+		t.Fatalf("final loss = %v", final)
+	}
+}
+
+func TestMiniBatchSGDMatchesLeastSquares(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	x, y, _ := synthRegression(r, 600, 4, 0.05)
+	res, err := MiniBatchSGD(DenseRows{x}, y, Squared{}, MiniBatchConfig{
+		Step: 0.1, Decay: 1, Epochs: 60, BatchSize: 16, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLS, _ := la.LstSq(x, y)
+	for j := range wLS {
+		if math.Abs(res.W[j]-wLS[j]) > 0.05 {
+			t.Fatalf("w[%d] = %v, LS %v", j, res.W[j], wLS[j])
+		}
+	}
+}
+
+func TestMiniBatchValidation(t *testing.T) {
+	x := la.NewDense(4, 2)
+	y := make([]float64, 4)
+	bad := []MiniBatchConfig{
+		{Step: 0, Epochs: 1, BatchSize: 1},
+		{Step: 1, Epochs: 0, BatchSize: 1},
+		{Step: 1, Epochs: 1, BatchSize: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := MiniBatchSGD(DenseRows{x}, y, Squared{}, cfg); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+	if _, err := MiniBatchSGD(DenseRows{x}, y[:2], Squared{}, MiniBatchConfig{Step: 1, Epochs: 1, BatchSize: 1}); err == nil {
+		t.Fatal("want label mismatch error")
+	}
+}
+
+func TestLBFGSMatchesExactLeastSquares(t *testing.T) {
+	r := rand.New(rand.NewSource(215))
+	x, y, _ := synthRegression(r, 400, 6, 0.05)
+	res, err := LBFGS(DenseData{x}, y, Squared{}, LBFGSConfig{MaxIter: 100, L2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLS, _ := la.LstSq(x, y)
+	for j := range wLS {
+		if math.Abs(res.W[j]-wLS[j]) > 1e-5 {
+			t.Fatalf("w[%d] = %v, LS %v", j, res.W[j], wLS[j])
+		}
+	}
+	// Quadratic objective: convergence in far fewer iterations than plain GD.
+	if res.Iters > 40 {
+		t.Fatalf("LBFGS took %d iterations on a quadratic", res.Iters)
+	}
+	// Monotone decrease.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-12 {
+			t.Fatalf("loss increased at %d", i)
+		}
+	}
+}
+
+func TestLBFGSLogisticBeatsGDIterations(t *testing.T) {
+	r := rand.New(rand.NewSource(216))
+	x, y, _ := synthClassification(r, 1500, 8)
+	lb, err := LBFGS(DenseData{x}, y, Logistic{}, LBFGSConfig{MaxIter: 60, L2: 1e-3, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := GradientDescent(DenseData{x}, y, Logistic{}, GDConfig{Step: 0.5, L2: 1e-3, MaxIter: 60, Backtracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbFinal := lb.History[len(lb.History)-1]
+	gdFinal := gd.History[len(gd.History)-1]
+	if lbFinal > gdFinal+1e-6 {
+		t.Fatalf("LBFGS final %v worse than GD %v at equal iterations", lbFinal, gdFinal)
+	}
+}
+
+func TestLBFGSValidation(t *testing.T) {
+	x := la.NewDense(3, 2)
+	if _, err := LBFGS(DenseData{x}, make([]float64, 3), Squared{}, LBFGSConfig{}); err == nil {
+		t.Fatal("want MaxIter error")
+	}
+	if _, err := LBFGS(DenseData{x}, make([]float64, 2), Squared{}, LBFGSConfig{MaxIter: 5}); err == nil {
+		t.Fatal("want label mismatch error")
+	}
+}

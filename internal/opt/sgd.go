@@ -1,0 +1,346 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dmml/internal/la"
+)
+
+// RowData abstracts per-example access for stochastic methods.
+type RowData interface {
+	Rows() int
+	Cols() int
+	// Row returns example i's feature vector; it may alias internal storage
+	// and must not be mutated.
+	Row(i int) []float64
+}
+
+// DenseRows adapts *la.Dense to RowData.
+type DenseRows struct{ M *la.Dense }
+
+// Rows implements RowData.
+func (d DenseRows) Rows() int { return d.M.Rows() }
+
+// Cols implements RowData.
+func (d DenseRows) Cols() int { return d.M.Cols() }
+
+// Row implements RowData.
+func (d DenseRows) Row(i int) []float64 { return d.M.RowView(i) }
+
+// UDA is Bismarck's unified user-defined-aggregate contract for incremental
+// gradient methods run inside a data system: the system drives Initialize
+// once, Transition per tuple, and Terminate at the end of the pass; Merge
+// combines states from parallel partitions.
+type UDA interface {
+	// Initialize prepares state for a model of dimension d.
+	Initialize(d int)
+	// Transition folds one labeled example into the state.
+	Transition(x []float64, y float64)
+	// Terminate finalizes and returns the model after a pass.
+	Terminate() []float64
+	// Merge folds another partition's state into this one (model averaging).
+	Merge(other UDA) error
+}
+
+// SGDAggregate is the SGD instantiation of the Bismarck UDA.
+type SGDAggregate struct {
+	W     []float64
+	Loss  Loss
+	Step  float64
+	L2    float64
+	seen  int
+	other int // examples represented by merged-in states
+}
+
+// Initialize implements UDA.
+func (s *SGDAggregate) Initialize(d int) {
+	s.W = make([]float64, d)
+	s.seen, s.other = 0, 0
+}
+
+// Transition implements UDA: one incremental gradient step.
+func (s *SGDAggregate) Transition(x []float64, y float64) {
+	m := la.Dot(s.W, x)
+	g := s.Loss.Deriv(m, y)
+	if s.L2 != 0 {
+		la.ScaleVec(1-s.Step*s.L2, s.W)
+	}
+	if g != 0 {
+		la.Axpy(-s.Step*g, x, s.W)
+	}
+	s.seen++
+}
+
+// Terminate implements UDA.
+func (s *SGDAggregate) Terminate() []float64 { return s.W }
+
+// Merge implements UDA by count-weighted model averaging, Bismarck's
+// partitioned-execution combine step.
+func (s *SGDAggregate) Merge(other UDA) error {
+	o, ok := other.(*SGDAggregate)
+	if !ok {
+		return fmt.Errorf("opt: cannot merge %T into *SGDAggregate", other)
+	}
+	if len(o.W) != len(s.W) {
+		return fmt.Errorf("opt: merge dimension mismatch %d vs %d", len(o.W), len(s.W))
+	}
+	wt := float64(s.seen + s.other)
+	wo := float64(o.seen + o.other)
+	if wt+wo == 0 {
+		return nil
+	}
+	a := wt / (wt + wo)
+	for j := range s.W {
+		s.W[j] = a*s.W[j] + (1-a)*o.W[j]
+	}
+	s.other += o.seen + o.other
+	return nil
+}
+
+// SGDConfig configures stochastic gradient descent.
+type SGDConfig struct {
+	Step   float64 // initial step size (> 0)
+	Decay  float64 // per-epoch decay: step_e = Step/(1+Decay·e)
+	L2     float64 // L2 regularization
+	Epochs int     // passes over the data (> 0)
+	Seed   int64   // shuffle seed
+}
+
+func (c SGDConfig) validate(n int) error {
+	if c.Step <= 0 {
+		return fmt.Errorf("opt: SGD step must be > 0, got %v", c.Step)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("opt: SGD epochs must be > 0, got %d", c.Epochs)
+	}
+	if n == 0 {
+		return fmt.Errorf("opt: SGD over empty data")
+	}
+	return nil
+}
+
+// SGDResult reports an SGD fit and its per-epoch mean loss trajectory.
+type SGDResult struct {
+	W         []float64
+	EpochLoss []float64 // mean loss after each epoch
+}
+
+// MeanLoss computes the unregularized mean loss of w over the data.
+func MeanLoss(data RowData, y []float64, w []float64, loss Loss) float64 {
+	n := data.Rows()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += loss.Value(la.Dot(w, data.Row(i)), y[i])
+	}
+	return total / float64(n)
+}
+
+// SGD trains by sequential stochastic gradient descent with per-epoch
+// shuffling, driving an SGDAggregate exactly as a data system would drive a
+// Bismarck UDA.
+func SGD(data RowData, y []float64, loss Loss, cfg SGDConfig) (*SGDResult, error) {
+	n := data.Rows()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), n)
+	}
+	agg := &SGDAggregate{Loss: loss, L2: cfg.L2}
+	agg.Initialize(data.Cols())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+	res := &SGDResult{}
+	for e := 0; e < cfg.Epochs; e++ {
+		agg.Step = cfg.Step / (1 + cfg.Decay*float64(e))
+		for _, i := range order {
+			agg.Transition(data.Row(i), y[i])
+		}
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		res.EpochLoss = append(res.EpochLoss, MeanLoss(data, y, agg.W, loss))
+	}
+	res.W = agg.Terminate()
+	return res, nil
+}
+
+// ParallelMode selects the parallel SGD execution strategy (Bismarck §4).
+type ParallelMode int
+
+// Parallel SGD strategies.
+const (
+	// ModelAverage partitions rows across workers; each runs an independent
+	// UDA pass per epoch and the states are merged by weighted averaging.
+	ModelAverage ParallelMode = iota
+	// SharedAtomic keeps one shared model updated with per-coordinate atomic
+	// compare-and-swap (lock-free, Hogwild-style but race-free in Go).
+	SharedAtomic
+)
+
+// ParallelSGD trains with the given number of workers and strategy.
+func ParallelSGD(data RowData, y []float64, loss Loss, cfg SGDConfig, workers int, mode ParallelMode) (*SGDResult, error) {
+	n := data.Rows()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), n)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("opt: workers must be >= 1, got %d", workers)
+	}
+	if workers == 1 {
+		return SGD(data, y, loss, cfg)
+	}
+	switch mode {
+	case ModelAverage:
+		return modelAverageSGD(data, y, loss, cfg, workers)
+	case SharedAtomic:
+		return sharedAtomicSGD(data, y, loss, cfg, workers)
+	default:
+		return nil, fmt.Errorf("opt: unknown parallel mode %d", mode)
+	}
+}
+
+func partition(n, workers int) [][2]int {
+	parts := make([][2]int, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for r0 := 0; r0 < n; r0 += chunk {
+		parts = append(parts, [2]int{r0, min(r0+chunk, n)})
+	}
+	return parts
+}
+
+func modelAverageSGD(data RowData, y []float64, loss Loss, cfg SGDConfig, workers int) (*SGDResult, error) {
+	n, d := data.Rows(), data.Cols()
+	parts := partition(n, workers)
+	w := make([]float64, d)
+	res := &SGDResult{}
+	for e := 0; e < cfg.Epochs; e++ {
+		step := cfg.Step / (1 + cfg.Decay*float64(e))
+		aggs := make([]*SGDAggregate, len(parts))
+		var wg sync.WaitGroup
+		for pi, p := range parts {
+			wg.Add(1)
+			go func(slot int, lo, hi int) {
+				defer wg.Done()
+				agg := &SGDAggregate{Loss: loss, L2: cfg.L2, Step: step}
+				agg.Initialize(d)
+				copy(agg.W, w) // warm start from the merged model
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(slot) + int64(101*e)))
+				span := hi - lo
+				for _, k := range rng.Perm(span) {
+					i := lo + k
+					agg.Transition(data.Row(i), y[i])
+				}
+				aggs[slot] = agg
+			}(pi, p[0], p[1])
+		}
+		wg.Wait()
+		merged := aggs[0]
+		for _, a := range aggs[1:] {
+			if err := merged.Merge(a); err != nil {
+				return nil, err
+			}
+		}
+		copy(w, merged.W)
+		res.EpochLoss = append(res.EpochLoss, MeanLoss(data, y, w, loss))
+	}
+	res.W = w
+	return res, nil
+}
+
+func sharedAtomicSGD(data RowData, y []float64, loss Loss, cfg SGDConfig, workers int) (*SGDResult, error) {
+	n, d := data.Rows(), data.Cols()
+	shared := make([]atomic.Uint64, d)
+	load := func(buf []float64) {
+		for j := range buf {
+			buf[j] = math.Float64frombits(shared[j].Load())
+		}
+	}
+	addTo := func(j int, delta float64) {
+		for {
+			old := shared[j].Load()
+			nv := math.Float64bits(math.Float64frombits(old) + delta)
+			if shared[j].CompareAndSwap(old, nv) {
+				return
+			}
+		}
+	}
+	parts := partition(n, workers)
+	res := &SGDResult{}
+	wLocal := make([]float64, d)
+	for e := 0; e < cfg.Epochs; e++ {
+		step := cfg.Step / (1 + cfg.Decay*float64(e))
+		var wg sync.WaitGroup
+		for pi, p := range parts {
+			wg.Add(1)
+			go func(slot, lo, hi int) {
+				defer wg.Done()
+				buf := make([]float64, d)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(slot) + int64(977*e)))
+				span := hi - lo
+				for _, k := range rng.Perm(span) {
+					i := lo + k
+					x := data.Row(i)
+					load(buf)
+					m := la.Dot(buf, x)
+					g := loss.Deriv(m, y[i])
+					for j, xj := range x {
+						delta := -step * (g*xj + cfg.L2*buf[j])
+						if delta != 0 {
+							addTo(j, delta)
+						}
+					}
+				}
+			}(pi, p[0], p[1])
+		}
+		wg.Wait()
+		load(wLocal)
+		res.EpochLoss = append(res.EpochLoss, MeanLoss(data, y, wLocal, loss))
+	}
+	w := make([]float64, d)
+	load(w)
+	res.W = w
+	return res, nil
+}
+
+// AdaGrad trains with per-coordinate adaptive step sizes, a common
+// alternative to plain SGD in the ML-system literature.
+func AdaGrad(data RowData, y []float64, loss Loss, cfg SGDConfig) (*SGDResult, error) {
+	n := data.Rows()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), n)
+	}
+	d := data.Cols()
+	w := make([]float64, d)
+	g2 := make([]float64, d)
+	const eps = 1e-8
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+	res := &SGDResult{}
+	for e := 0; e < cfg.Epochs; e++ {
+		for _, i := range order {
+			x := data.Row(i)
+			gm := loss.Deriv(la.Dot(w, x), y[i])
+			for j, xj := range x {
+				g := gm*xj + cfg.L2*w[j]
+				if g == 0 {
+					continue
+				}
+				g2[j] += g * g
+				w[j] -= cfg.Step / math.Sqrt(g2[j]+eps) * g
+			}
+		}
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		res.EpochLoss = append(res.EpochLoss, MeanLoss(data, y, w, loss))
+	}
+	res.W = w
+	return res, nil
+}

@@ -1,0 +1,322 @@
+// Package paramserver simulates a sharded parameter server in-process, the
+// distributed-ML substrate the paper surveys: model weights are partitioned
+// across shards, workers pull the current model and push gradients, and
+// coordination follows the stale-synchronous-parallel (SSP) spectrum —
+// staleness 0 is BSP (barrier per clock tick), unbounded staleness is fully
+// asynchronous. Optional per-operation latency injection emulates network
+// round trips so the BSP-vs-async throughput shape is observable on a single
+// machine.
+package paramserver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmml/internal/la"
+	"dmml/internal/opt"
+)
+
+// Server is a sharded parameter vector with pull/push access.
+type Server struct {
+	shards []*shard
+	dim    int
+	pulls  atomic.Int64
+	pushes atomic.Int64
+	// opLatency is injected before every shard RPC to emulate the network.
+	opLatency time.Duration
+}
+
+type shard struct {
+	mu sync.Mutex
+	lo int // global index of w[0]
+	w  []float64
+}
+
+// NewServer creates a parameter server for a dim-dimensional model split
+// across the given number of shards.
+func NewServer(dim, shards int, opLatency time.Duration) (*Server, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("paramserver: dim must be ≥ 1, got %d", dim)
+	}
+	if shards < 1 || shards > dim {
+		return nil, fmt.Errorf("paramserver: shards=%d out of range for dim=%d", shards, dim)
+	}
+	s := &Server{dim: dim, opLatency: opLatency}
+	chunk := (dim + shards - 1) / shards
+	for lo := 0; lo < dim; lo += chunk {
+		hi := min(lo+chunk, dim)
+		s.shards = append(s.shards, &shard{lo: lo, w: make([]float64, hi-lo)})
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Pull gathers the full model (one emulated RPC per shard).
+func (s *Server) Pull() []float64 {
+	out := make([]float64, s.dim)
+	for _, sh := range s.shards {
+		s.rpc()
+		sh.mu.Lock()
+		copy(out[sh.lo:], sh.w)
+		sh.mu.Unlock()
+	}
+	s.pulls.Add(1)
+	return out
+}
+
+// Push applies w += scale·delta across shards (one emulated RPC per shard
+// that receives a non-zero slice).
+func (s *Server) Push(delta []float64, scale float64) error {
+	if len(delta) != s.dim {
+		return fmt.Errorf("paramserver: push length %d, want %d", len(delta), s.dim)
+	}
+	for _, sh := range s.shards {
+		s.rpc()
+		sh.mu.Lock()
+		la.Axpy(scale, delta[sh.lo:sh.lo+len(sh.w)], sh.w)
+		sh.mu.Unlock()
+	}
+	s.pushes.Add(1)
+	return nil
+}
+
+// Stats returns cumulative pull/push counts.
+func (s *Server) Stats() (pulls, pushes int64) {
+	return s.pulls.Load(), s.pushes.Load()
+}
+
+func (s *Server) rpc() {
+	if s.opLatency > 0 {
+		time.Sleep(s.opLatency)
+	}
+}
+
+// sspClock implements the stale-synchronous-parallel coordination rule: a
+// worker about to start tick c+1 blocks until the slowest worker has
+// finished tick c−staleness.
+type sspClock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	clocks []int
+	// idle accumulates total time workers spent blocked in waitTurn — the
+	// coordination cost BSP pays under stragglers.
+	idle atomic.Int64
+}
+
+func newSSPClock(workers int) *sspClock {
+	c := &sspClock{clocks: make([]int, workers)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *sspClock) minClock() int {
+	m := math.MaxInt
+	for _, v := range c.clocks {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// waitTurn blocks worker w until its next tick respects the staleness bound.
+func (c *sspClock) waitTurn(w, staleness int) {
+	c.mu.Lock()
+	if c.clocks[w]-c.minClock() > staleness {
+		start := time.Now()
+		for c.clocks[w]-c.minClock() > staleness {
+			c.cond.Wait()
+		}
+		c.idle.Add(int64(time.Since(start)))
+	}
+	c.mu.Unlock()
+}
+
+// advance records that worker w finished one tick.
+func (c *sspClock) advance(w int) {
+	c.mu.Lock()
+	c.clocks[w]++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// finish releases worker w from the clock by setting it to +∞ so stragglers
+// do not block others after completion.
+func (c *sspClock) finish(w int) {
+	c.mu.Lock()
+	c.clocks[w] = math.MaxInt / 2
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Mode names the coordination regime.
+type Mode int
+
+// Coordination regimes.
+const (
+	// BSP barriers every tick (staleness 0).
+	BSP Mode = iota
+	// SSP allows the configured staleness bound between workers.
+	SSP
+	// Async runs workers with no coordination at all.
+	Async
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case BSP:
+		return "bsp"
+	case SSP:
+		return "ssp"
+	case Async:
+		return "async"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// TrainConfig configures distributed SGD through the parameter server.
+type TrainConfig struct {
+	Workers   int
+	Epochs    int
+	BatchSize int
+	Step      float64
+	Decay     float64 // per-epoch step decay
+	L2        float64
+	Mode      Mode
+	Staleness int // used when Mode == SSP
+	Seed      int64
+	// StragglerDelay injects extra per-batch compute time into worker 0,
+	// emulating a heterogeneous cluster. BSP's barrier makes every worker
+	// wait for the straggler; SSP tolerates it up to the staleness bound;
+	// async ignores it — the published parameter-server motivation.
+	StragglerDelay time.Duration
+}
+
+func (c TrainConfig) validate(n int) error {
+	if c.Workers < 1 {
+		return fmt.Errorf("paramserver: workers must be ≥ 1")
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("paramserver: epochs must be ≥ 1")
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("paramserver: batch size must be ≥ 1")
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("paramserver: step must be > 0")
+	}
+	if n == 0 {
+		return fmt.Errorf("paramserver: empty data")
+	}
+	if c.Mode == SSP && c.Staleness < 0 {
+		return fmt.Errorf("paramserver: negative staleness")
+	}
+	return nil
+}
+
+// Result reports a distributed training run.
+type Result struct {
+	W         []float64
+	FinalLoss float64
+	Pulls     int64
+	Pushes    int64
+	// WorkerIdle is the total time workers spent blocked on the SSP clock —
+	// near zero for async, large for BSP under stragglers.
+	WorkerIdle time.Duration
+}
+
+// Train runs mini-batch SGD with the given coordination mode: rows are
+// partitioned across workers; each batch tick a worker pulls the model,
+// computes its mini-batch gradient, and pushes the scaled update.
+func Train(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainConfig) (*Result, error) {
+	n := data.Rows()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("paramserver: %d labels for %d rows", len(y), n)
+	}
+	if data.Cols() != ps.dim {
+		return nil, fmt.Errorf("paramserver: data has %d cols, server dim %d", data.Cols(), ps.dim)
+	}
+	staleness := cfg.Staleness
+	switch cfg.Mode {
+	case BSP:
+		staleness = 0
+	case Async:
+		staleness = math.MaxInt / 4
+	}
+	clock := newSSPClock(cfg.Workers)
+
+	chunk := (n + cfg.Workers - 1) / cfg.Workers
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		lo := wkr * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			clock.finish(wkr)
+			continue
+		}
+		wg.Add(1)
+		go func(id, lo, hi int) {
+			defer wg.Done()
+			defer clock.finish(id)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			span := hi - lo
+			order := rng.Perm(span)
+			grad := make([]float64, ps.dim)
+			for e := 0; e < cfg.Epochs; e++ {
+				step := cfg.Step / (1 + cfg.Decay*float64(e))
+				for b := 0; b < span; b += cfg.BatchSize {
+					clock.waitTurn(id, staleness)
+					if id == 0 && cfg.StragglerDelay > 0 {
+						time.Sleep(cfg.StragglerDelay)
+					}
+					w := ps.Pull()
+					for j := range grad {
+						grad[j] = cfg.L2 * w[j]
+					}
+					bEnd := min(b+cfg.BatchSize, span)
+					for _, k := range order[b:bEnd] {
+						i := lo + k
+						x := data.Row(i)
+						g := loss.Deriv(la.Dot(w, x), y[i])
+						if g != 0 {
+							la.Axpy(g, x, grad)
+						}
+					}
+					scale := -step / float64(bEnd-b)
+					if err := ps.Push(grad, scale); err != nil {
+						errs[id] = err
+						return
+					}
+					clock.advance(id)
+				}
+				rng.Shuffle(span, func(a, b int) { order[a], order[b] = order[b], order[a] })
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	w := ps.Pull()
+	pulls, pushes := ps.Stats()
+	return &Result{
+		W:          w,
+		FinalLoss:  opt.MeanLoss(data, y, w, loss),
+		Pulls:      pulls,
+		Pushes:     pushes,
+		WorkerIdle: time.Duration(clock.idle.Load()),
+	}, nil
+}

@@ -1,0 +1,286 @@
+package relational
+
+import (
+	"testing"
+
+	"dmml/internal/storage"
+)
+
+func ordersTable(t *testing.T) *storage.Table {
+	t.Helper()
+	s := storage.MustSchema(
+		storage.Field{Name: "oid", Type: storage.Int64},
+		storage.Field{Name: "cust", Type: storage.Int64},
+		storage.Field{Name: "amount", Type: storage.Float64},
+	)
+	tb := storage.NewTable(s)
+	rows := [][]any{
+		{int64(1), int64(10), 5.0},
+		{int64(2), int64(20), 7.5},
+		{int64(3), int64(10), 2.5},
+		{int64(4), int64(30), 9.0},
+		{int64(5), int64(20), 1.0},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func customersTable(t *testing.T) *storage.Table {
+	t.Helper()
+	s := storage.MustSchema(
+		storage.Field{Name: "cid", Type: storage.Int64},
+		storage.Field{Name: "name", Type: storage.String},
+		storage.Field{Name: "tier", Type: storage.Int64},
+	)
+	tb := storage.NewTable(s)
+	rows := [][]any{
+		{int64(10), "alice", int64(1)},
+		{int64(20), "bob", int64(2)},
+		// customer 30 intentionally missing: inner join drops order 4
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestProject(t *testing.T) {
+	tb := ordersTable(t)
+	p, err := Project(tb, []string{"amount", "oid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().NumFields() != 2 || p.Schema().Fields[0].Name != "amount" {
+		t.Fatalf("schema = %+v", p.Schema().Fields)
+	}
+	if p.NumRows() != 5 {
+		t.Fatalf("rows = %d", p.NumRows())
+	}
+	if _, err := Project(tb, []string{"missing"}); err == nil {
+		t.Fatal("want missing column error")
+	}
+	if _, err := Project(tb, nil); err == nil {
+		t.Fatal("want empty projection error")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tb := ordersTable(t)
+	amounts, _ := tb.Floats("amount")
+	sel, err := Select(tb, func(r int) bool { return amounts[r] > 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumRows() != 3 {
+		t.Fatalf("rows = %d", sel.NumRows())
+	}
+	// Empty selection is fine.
+	none, err := Select(tb, func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumRows() != 0 {
+		t.Fatalf("rows = %d", none.NumRows())
+	}
+}
+
+func TestHashJoinPKFK(t *testing.T) {
+	orders := ordersTable(t)
+	custs := customersTable(t)
+	j, err := HashJoin(orders, custs, "cust", "cid", JoinOptions{DropRightKey: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orders 1,2,3,5 match; order 4 (cust 30) is dropped.
+	if j.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", j.NumRows())
+	}
+	names, err := j.Strings("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids, _ := j.Ints("oid")
+	byOid := map[int64]string{}
+	for i, o := range oids {
+		byOid[o] = names[i]
+	}
+	if byOid[1] != "alice" || byOid[2] != "bob" || byOid[3] != "alice" || byOid[5] != "bob" {
+		t.Fatalf("joined names = %v", byOid)
+	}
+}
+
+func TestHashJoinManyToMany(t *testing.T) {
+	s := storage.MustSchema(storage.Field{Name: "k", Type: storage.Int64}, storage.Field{Name: "v", Type: storage.Int64})
+	a := storage.NewTable(s)
+	b := storage.NewTable(s)
+	_ = a.AppendRow(int64(1), int64(100))
+	_ = a.AppendRow(int64(1), int64(101))
+	_ = b.AppendRow(int64(1), int64(200))
+	_ = b.AppendRow(int64(1), int64(201))
+	j, err := HashJoin(a, b, "k", "k", JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4 (cross product within key)", j.NumRows())
+	}
+	// Collision renaming: right "k" and "v" get suffixed.
+	if j.Schema().FieldIndex("k_r") < 0 || j.Schema().FieldIndex("v_r") < 0 {
+		t.Fatalf("schema = %+v", j.Schema().Fields)
+	}
+}
+
+func TestHashJoinStringKeys(t *testing.T) {
+	s := storage.MustSchema(storage.Field{Name: "name", Type: storage.String}, storage.Field{Name: "x", Type: storage.Int64})
+	a := storage.NewTable(s)
+	_ = a.AppendRow("u", int64(1))
+	_ = a.AppendRow("v", int64(2))
+	b := storage.NewTable(s)
+	_ = b.AppendRow("v", int64(3))
+	j, err := HashJoin(a, b, "name", "name", JoinOptions{DropRightKey: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1 {
+		t.Fatalf("rows = %d", j.NumRows())
+	}
+}
+
+func TestHashJoinErrors(t *testing.T) {
+	orders := ordersTable(t)
+	custs := customersTable(t)
+	if _, err := HashJoin(orders, custs, "nope", "cid", JoinOptions{}); err == nil {
+		t.Fatal("want missing left key error")
+	}
+	if _, err := HashJoin(orders, custs, "cust", "nope", JoinOptions{}); err == nil {
+		t.Fatal("want missing right key error")
+	}
+	if _, err := HashJoin(orders, custs, "cust", "name", JoinOptions{}); err == nil {
+		t.Fatal("want key type mismatch error")
+	}
+	if _, err := HashJoin(orders, orders, "amount", "amount", JoinOptions{}); err == nil {
+		t.Fatal("want float key rejection")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	orders := ordersTable(t)
+	g, err := GroupBy(orders, "cust", []Agg{
+		{Col: "amount", Fn: Sum},
+		{Col: "amount", Fn: Count},
+		{Col: "amount", Fn: Mean},
+		{Col: "amount", Fn: Min},
+		{Col: "amount", Fn: Max},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 3 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	keys, _ := g.Ints("cust")
+	sums, _ := g.Floats("amount_sum")
+	counts, _ := g.Ints("count")
+	means, _ := g.Floats("amount_mean")
+	mins, _ := g.Floats("amount_min")
+	maxs, _ := g.Floats("amount_max")
+	byKey := map[int64][5]float64{}
+	for i, k := range keys {
+		byKey[k] = [5]float64{sums[i], float64(counts[i]), means[i], mins[i], maxs[i]}
+	}
+	if got := byKey[10]; got != [5]float64{7.5, 2, 3.75, 2.5, 5.0} {
+		t.Fatalf("group 10 = %v", got)
+	}
+	if got := byKey[20]; got != [5]float64{8.5, 2, 4.25, 1.0, 7.5} {
+		t.Fatalf("group 20 = %v", got)
+	}
+	if got := byKey[30]; got != [5]float64{9, 1, 9, 9, 9} {
+		t.Fatalf("group 30 = %v", got)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	orders := ordersTable(t)
+	if _, err := GroupBy(orders, "amount", []Agg{{Col: "amount", Fn: Sum}}); err == nil {
+		t.Fatal("want float group key rejection")
+	}
+	if _, err := GroupBy(orders, "cust", nil); err == nil {
+		t.Fatal("want empty aggregates error")
+	}
+	if _, err := GroupBy(orders, "cust", []Agg{{Col: "nope", Fn: Sum}}); err == nil {
+		t.Fatal("want missing column error")
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	orders := ordersTable(t)
+	asc, err := OrderBy(orders, "amount", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amts, _ := asc.Floats("amount")
+	for i := 1; i < len(amts); i++ {
+		if amts[i-1] > amts[i] {
+			t.Fatalf("not ascending: %v", amts)
+		}
+	}
+	desc, _ := OrderBy(orders, "oid", true)
+	oids, _ := desc.Ints("oid")
+	if oids[0] != 5 || oids[4] != 1 {
+		t.Fatalf("desc oids = %v", oids)
+	}
+	if _, err := OrderBy(orders, "nope", false); err == nil {
+		t.Fatal("want missing column error")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := storage.MustSchema(
+		storage.Field{Name: "a", Type: storage.Int64},
+		storage.Field{Name: "b", Type: storage.String},
+	)
+	tb := storage.NewTable(s)
+	_ = tb.AppendRow(int64(1), "x")
+	_ = tb.AppendRow(int64(1), "x")
+	_ = tb.AppendRow(int64(2), "x")
+	_ = tb.AppendRow(int64(1), "y")
+	_ = tb.AppendRow(int64(2), "x")
+	got, err := Distinct(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("distinct rows = %d, want 3", got.NumRows())
+	}
+	as, _ := got.Ints("a")
+	if as[0] != 1 || as[1] != 2 || as[2] != 1 {
+		t.Fatalf("order not preserved: %v", as)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tb := ordersTable(t)
+	got, err := Limit(tb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	all, err := Limit(tb, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != tb.NumRows() {
+		t.Fatalf("over-limit rows = %d", all.NumRows())
+	}
+	if _, err := Limit(tb, -1); err == nil {
+		t.Fatal("want negative limit error")
+	}
+}

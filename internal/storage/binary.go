@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary table format: a compact columnar serialization that avoids CSV's
+// parse cost. Layout (all little-endian):
+//
+//	magic "DMT1" | uint32 nFields | per field: uint8 type, uvarint nameLen,
+//	name bytes | uint64 nRows | per field, column-at-a-time payload
+//	(float64 bits / varint-encoded int64 / uvarint length + bytes).
+const binaryMagic = "DMT1"
+
+// WriteBinary serializes the table in the dmml binary columnar format.
+func WriteBinary(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("storage: binary write: %w", err)
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(t.schema.NumFields()))
+	bw.Write(u32[:])
+	var varintBuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(varintBuf[:], v)
+		bw.Write(varintBuf[:n])
+	}
+	writeVarint := func(v int64) {
+		n := binary.PutVarint(varintBuf[:], v)
+		bw.Write(varintBuf[:n])
+	}
+	for _, f := range t.schema.Fields {
+		bw.WriteByte(byte(f.Type))
+		writeUvarint(uint64(len(f.Name)))
+		bw.WriteString(f.Name)
+	}
+	binary.LittleEndian.PutUint64(u64[:], uint64(t.nrows))
+	bw.Write(u64[:])
+	for i, f := range t.schema.Fields {
+		switch f.Type {
+		case Float64:
+			for _, v := range t.floats[i] {
+				binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v))
+				bw.Write(u64[:])
+			}
+		case Int64:
+			for _, v := range t.ints[i] {
+				writeVarint(v)
+			}
+		case String:
+			for _, v := range t.strs[i] {
+				writeUvarint(uint64(len(v)))
+				bw.WriteString(v)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: binary write: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary deserializes a table written by WriteBinary.
+func ReadBinary(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: binary read: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("storage: bad magic %q", magic)
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, fmt.Errorf("storage: binary read: %w", err)
+	}
+	nFields := int(binary.LittleEndian.Uint32(u32[:]))
+	if nFields <= 0 || nFields > 1<<20 {
+		return nil, fmt.Errorf("storage: implausible field count %d", nFields)
+	}
+	fields := make([]Field, nFields)
+	for i := range fields {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("storage: binary read: %w", err)
+		}
+		if tb > byte(String) {
+			return nil, fmt.Errorf("storage: unknown column type %d", tb)
+		}
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("storage: binary read: %w", err)
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("storage: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("storage: binary read: %w", err)
+		}
+		fields[i] = Field{Name: string(name), Type: ColType(tb)}
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return nil, fmt.Errorf("storage: binary read: %w", err)
+	}
+	nRows := int(binary.LittleEndian.Uint64(u64[:]))
+	if nRows < 0 {
+		return nil, fmt.Errorf("storage: negative row count")
+	}
+	t := NewTable(schema)
+	t.nrows = nRows
+	for i, f := range schema.Fields {
+		switch f.Type {
+		case Float64:
+			col := make([]float64, nRows)
+			for k := range col {
+				if _, err := io.ReadFull(br, u64[:]); err != nil {
+					return nil, fmt.Errorf("storage: binary read column %q: %w", f.Name, err)
+				}
+				col[k] = math.Float64frombits(binary.LittleEndian.Uint64(u64[:]))
+			}
+			t.floats[i] = col
+		case Int64:
+			col := make([]int64, nRows)
+			for k := range col {
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("storage: binary read column %q: %w", f.Name, err)
+				}
+				col[k] = v
+			}
+			t.ints[i] = col
+		case String:
+			col := make([]string, nRows)
+			for k := range col {
+				slen, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("storage: binary read column %q: %w", f.Name, err)
+				}
+				buf := make([]byte, slen)
+				if _, err := io.ReadFull(br, buf); err != nil {
+					return nil, fmt.Errorf("storage: binary read column %q: %w", f.Name, err)
+				}
+				col[k] = string(buf)
+			}
+			t.strs[i] = col
+		}
+	}
+	return t, nil
+}
+
+// WriteBinaryFile writes the table to path in binary columnar format.
+func WriteBinaryFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := WriteBinary(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads a binary columnar table from path.
+func ReadBinaryFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

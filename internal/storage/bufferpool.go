@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// PageID identifies a page: Owner scopes pages to one paged object (e.g. a
+// PagedMatrix) and Index is the page number within the owner.
+type PageID struct {
+	Owner int
+	Index int
+}
+
+// PoolStats counts buffer pool events; used by the out-of-core experiments.
+type PoolStats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	SpillWrites int64
+	SpillReads  int64
+}
+
+// BufferPool caches fixed-role float64 pages in memory up to a capacity,
+// evicting least-recently-used unpinned pages to disk. It is safe for
+// concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	dir      string
+	resident map[PageID]*page
+	onDisk   map[PageID]int // page id -> length (floats)
+	tick     uint64
+	nextOwn  int
+	stats    PoolStats
+
+	// Failure-injection hooks for tests; called before disk I/O when non-nil.
+	readHook  func(PageID) error
+	writeHook func(PageID) error
+}
+
+type page struct {
+	id       PageID
+	data     []float64
+	dirty    bool
+	pinned   int
+	lastUsed uint64
+}
+
+// NewBufferPool creates a pool holding at most capacity pages in memory,
+// spilling to dir (created if needed).
+func NewBufferPool(capacity int, dir string) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: buffer pool dir: %w", err)
+	}
+	return &BufferPool{
+		capacity: capacity,
+		dir:      dir,
+		resident: make(map[PageID]*page),
+		onDisk:   make(map[PageID]int),
+	}, nil
+}
+
+// RegisterOwner allocates a fresh owner id for a paged object.
+func (bp *BufferPool) RegisterOwner() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.nextOwn++
+	return bp.nextOwn
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// SetFailureHooks installs failure-injection hooks for tests. A nil hook
+// disables injection for that direction.
+func (bp *BufferPool) SetFailureHooks(read, write func(PageID) error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.readHook, bp.writeHook = read, write
+}
+
+// Pin fetches the page, loading from disk or allocating zeroed storage of
+// size floats on first touch, pins it, and returns its data. The caller must
+// call Unpin (optionally marking dirty) when done.
+func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.tick++
+	if p, ok := bp.resident[id]; ok {
+		bp.stats.Hits++
+		p.pinned++
+		p.lastUsed = bp.tick
+		return p.data, nil
+	}
+	bp.stats.Misses++
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	p := &page{id: id, lastUsed: bp.tick, pinned: 1}
+	if n, ok := bp.onDisk[id]; ok {
+		data, err := bp.loadLocked(id, n)
+		if err != nil {
+			return nil, err
+		}
+		p.data = data
+		bp.stats.SpillReads++
+	} else {
+		p.data = make([]float64, size)
+	}
+	bp.resident[id] = p
+	return p.data, nil
+}
+
+// Unpin releases a pinned page; dirty records that the caller mutated it.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	p, ok := bp.resident[id]
+	if !ok || p.pinned == 0 {
+		panic(fmt.Sprintf("storage: Unpin of non-pinned page %v", id))
+	}
+	p.pinned--
+	if dirty {
+		p.dirty = true
+	}
+}
+
+// FlushAll writes every dirty resident page to disk (pages stay resident).
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, p := range bp.resident {
+		if p.dirty {
+			if err := bp.storeLocked(p); err != nil {
+				return err
+			}
+			p.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropOwner discards all pages (memory and disk) belonging to owner.
+func (bp *BufferPool) DropOwner(owner int) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, p := range bp.resident {
+		if id.Owner == owner {
+			if p.pinned > 0 {
+				return fmt.Errorf("storage: DropOwner %d: page %v still pinned", owner, id)
+			}
+			delete(bp.resident, id)
+		}
+	}
+	for id := range bp.onDisk {
+		if id.Owner == owner {
+			os.Remove(bp.pagePath(id))
+			delete(bp.onDisk, id)
+		}
+	}
+	return nil
+}
+
+// ResidentPages returns the number of in-memory pages.
+func (bp *BufferPool) ResidentPages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.resident)
+}
+
+// makeRoomLocked evicts LRU unpinned pages until a slot is free.
+func (bp *BufferPool) makeRoomLocked() error {
+	for len(bp.resident) >= bp.capacity {
+		var victim *page
+		for _, p := range bp.resident {
+			if p.pinned > 0 {
+				continue
+			}
+			if victim == nil || p.lastUsed < victim.lastUsed {
+				victim = p
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("storage: buffer pool exhausted: all %d pages pinned", bp.capacity)
+		}
+		if victim.dirty {
+			if err := bp.storeLocked(victim); err != nil {
+				return err
+			}
+		}
+		delete(bp.resident, victim.id)
+		bp.stats.Evictions++
+	}
+	return nil
+}
+
+func (bp *BufferPool) pagePath(id PageID) string {
+	return filepath.Join(bp.dir, fmt.Sprintf("p%d_%d.page", id.Owner, id.Index))
+}
+
+func (bp *BufferPool) storeLocked(p *page) error {
+	if bp.writeHook != nil {
+		if err := bp.writeHook(p.id); err != nil {
+			return fmt.Errorf("storage: write page %v: %w", p.id, err)
+		}
+	}
+	buf := make([]byte, 8*len(p.data))
+	for i, v := range p.data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(bp.pagePath(p.id), buf, 0o644); err != nil {
+		return fmt.Errorf("storage: write page %v: %w", p.id, err)
+	}
+	bp.onDisk[p.id] = len(p.data)
+	bp.stats.SpillWrites++
+	return nil
+}
+
+func (bp *BufferPool) loadLocked(id PageID, n int) ([]float64, error) {
+	if bp.readHook != nil {
+		if err := bp.readHook(id); err != nil {
+			return nil, fmt.Errorf("storage: read page %v: %w", id, err)
+		}
+	}
+	buf, err := os.ReadFile(bp.pagePath(id))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read page %v: %w", id, err)
+	}
+	if len(buf) != 8*n {
+		return nil, fmt.Errorf("storage: page %v has %d bytes, want %d", id, len(buf), 8*n)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return data, nil
+}

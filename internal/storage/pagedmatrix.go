@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+)
+
+// PagedMatrix is a row-major dense matrix stored as fixed-size row blocks in
+// a BufferPool, enabling matrices larger than the pool's memory budget.
+// Iterative ML over a PagedMatrix exercises the paper's out-of-core regime.
+type PagedMatrix struct {
+	pool     *BufferPool
+	owner    int
+	rows     int
+	cols     int
+	pageRows int
+}
+
+// NewPagedMatrix creates a rows×cols paged matrix whose pages hold pageRows
+// rows each.
+func NewPagedMatrix(pool *BufferPool, rows, cols, pageRows int) (*PagedMatrix, error) {
+	if rows <= 0 || cols <= 0 || pageRows <= 0 {
+		return nil, fmt.Errorf("storage: bad paged matrix dims rows=%d cols=%d pageRows=%d", rows, cols, pageRows)
+	}
+	return &PagedMatrix{
+		pool:     pool,
+		owner:    pool.RegisterOwner(),
+		rows:     rows,
+		cols:     cols,
+		pageRows: pageRows,
+	}, nil
+}
+
+// Dims returns the logical dimensions.
+func (pm *PagedMatrix) Dims() (rows, cols int) { return pm.rows, pm.cols }
+
+// NumPages returns the page count.
+func (pm *PagedMatrix) NumPages() int { return (pm.rows + pm.pageRows - 1) / pm.pageRows }
+
+// pageSpan returns the page index, row offset within the page, and page size
+// in floats for global row i.
+func (pm *PagedMatrix) pageSpan(i int) (pageIdx, rowInPage, pageFloats int) {
+	pageIdx = i / pm.pageRows
+	rowInPage = i % pm.pageRows
+	rowsInThis := pm.pageRows
+	if (pageIdx+1)*pm.pageRows > pm.rows {
+		rowsInThis = pm.rows - pageIdx*pm.pageRows
+	}
+	return pageIdx, rowInPage, rowsInThis * pm.cols
+}
+
+// SetRow writes row i.
+func (pm *PagedMatrix) SetRow(i int, v []float64) error {
+	if i < 0 || i >= pm.rows {
+		return fmt.Errorf("storage: row %d out of range [0,%d)", i, pm.rows)
+	}
+	if len(v) != pm.cols {
+		return fmt.Errorf("storage: SetRow length %d, want %d", len(v), pm.cols)
+	}
+	pg, off, size := pm.pageSpan(i)
+	id := PageID{Owner: pm.owner, Index: pg}
+	data, err := pm.pool.Pin(id, size)
+	if err != nil {
+		return err
+	}
+	copy(data[off*pm.cols:(off+1)*pm.cols], v)
+	pm.pool.Unpin(id, true)
+	return nil
+}
+
+// Row reads row i into dst (which must have length cols).
+func (pm *PagedMatrix) Row(i int, dst []float64) error {
+	if i < 0 || i >= pm.rows {
+		return fmt.Errorf("storage: row %d out of range [0,%d)", i, pm.rows)
+	}
+	if len(dst) != pm.cols {
+		return fmt.Errorf("storage: Row dst length %d, want %d", len(dst), pm.cols)
+	}
+	pg, off, size := pm.pageSpan(i)
+	id := PageID{Owner: pm.owner, Index: pg}
+	data, err := pm.pool.Pin(id, size)
+	if err != nil {
+		return err
+	}
+	copy(dst, data[off*pm.cols:(off+1)*pm.cols])
+	pm.pool.Unpin(id, false)
+	return nil
+}
+
+// FromDense bulk-loads a dense matrix of identical shape.
+func (pm *PagedMatrix) FromDense(d *la.Dense) error {
+	r, c := d.Dims()
+	if r != pm.rows || c != pm.cols {
+		return fmt.Errorf("storage: FromDense shape %dx%d, want %dx%d", r, c, pm.rows, pm.cols)
+	}
+	for pg := 0; pg < pm.NumPages(); pg++ {
+		r0 := pg * pm.pageRows
+		r1 := min(r0+pm.pageRows, pm.rows)
+		id := PageID{Owner: pm.owner, Index: pg}
+		data, err := pm.pool.Pin(id, (r1-r0)*pm.cols)
+		if err != nil {
+			return err
+		}
+		for i := r0; i < r1; i++ {
+			copy(data[(i-r0)*pm.cols:(i-r0+1)*pm.cols], d.RowView(i))
+		}
+		pm.pool.Unpin(id, true)
+	}
+	return nil
+}
+
+// ToDense materializes the full matrix in memory.
+func (pm *PagedMatrix) ToDense() (*la.Dense, error) {
+	out := la.NewDense(pm.rows, pm.cols)
+	err := pm.scanPages(func(r0 int, block []float64) error {
+		copy(out.RawData()[r0*pm.cols:r0*pm.cols+len(block)], block)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanPages visits each page in order, passing the starting global row and
+// the page's float data.
+func (pm *PagedMatrix) scanPages(fn func(r0 int, block []float64) error) error {
+	for pg := 0; pg < pm.NumPages(); pg++ {
+		r0 := pg * pm.pageRows
+		r1 := min(r0+pm.pageRows, pm.rows)
+		id := PageID{Owner: pm.owner, Index: pg}
+		data, err := pm.pool.Pin(id, (r1-r0)*pm.cols)
+		if err != nil {
+			return err
+		}
+		ferr := fn(r0, data)
+		pm.pool.Unpin(id, false)
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// MatVec computes X·v with one streaming pass over the pages.
+func (pm *PagedMatrix) MatVec(v []float64) ([]float64, error) {
+	if len(v) != pm.cols {
+		return nil, fmt.Errorf("storage: MatVec length %d, want %d", len(v), pm.cols)
+	}
+	out := make([]float64, pm.rows)
+	err := pm.scanPages(func(r0 int, block []float64) error {
+		n := len(block) / pm.cols
+		for i := 0; i < n; i++ {
+			out[r0+i] = la.Dot(block[i*pm.cols:(i+1)*pm.cols], v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VecMat computes xᵀ·X with one streaming pass over the pages.
+func (pm *PagedMatrix) VecMat(x []float64) ([]float64, error) {
+	if len(x) != pm.rows {
+		return nil, fmt.Errorf("storage: VecMat length %d, want %d", len(x), pm.rows)
+	}
+	out := make([]float64, pm.cols)
+	err := pm.scanPages(func(r0 int, block []float64) error {
+		n := len(block) / pm.cols
+		for i := 0; i < n; i++ {
+			if xi := x[r0+i]; xi != 0 {
+				la.Axpy(xi, block[i*pm.cols:(i+1)*pm.cols], out)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Gram computes XᵀX with one streaming pass over the pages.
+func (pm *PagedMatrix) Gram() (*la.Dense, error) {
+	out := la.NewDense(pm.cols, pm.cols)
+	err := pm.scanPages(func(r0 int, block []float64) error {
+		n := len(block) / pm.cols
+		for i := 0; i < n; i++ {
+			row := block[i*pm.cols : (i+1)*pm.cols]
+			for a, va := range row {
+				if va == 0 {
+					continue
+				}
+				orow := out.RowView(a)
+				for b := a; b < pm.cols; b++ {
+					orow[b] += va * row[b]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pm.cols; i++ {
+		for j := 0; j < i; j++ {
+			out.Set(i, j, out.At(j, i))
+		}
+	}
+	return out, nil
+}
+
+// Drop releases all pages of this matrix from the pool and disk.
+func (pm *PagedMatrix) Drop() error { return pm.pool.DropOwner(pm.owner) }

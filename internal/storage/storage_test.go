@@ -1,0 +1,610 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dmml/internal/la"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Field{"id", Int64},
+		Field{"name", String},
+		Field{"score", Float64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("want error for empty schema")
+	}
+	if _, err := NewSchema(Field{"a", Int64}, Field{"a", String}); err == nil {
+		t.Fatal("want error for duplicate names")
+	}
+	if _, err := NewSchema(Field{"", Int64}); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	s := testSchema(t)
+	if s.FieldIndex("score") != 2 || s.FieldIndex("missing") != -1 {
+		t.Fatal("FieldIndex wrong")
+	}
+}
+
+func TestTableAppendAndAccess(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	if err := tb.AppendRow(int64(1), "alice", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendRow(2, "bob", 0.5); err != nil { // plain int accepted
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	ids, err := tb.Ints("id")
+	if err != nil || ids[1] != 2 {
+		t.Fatalf("Ints: %v %v", ids, err)
+	}
+	names, err := tb.Strings("name")
+	if err != nil || names[0] != "alice" {
+		t.Fatalf("Strings: %v %v", names, err)
+	}
+	scores, err := tb.Floats("score")
+	if err != nil || scores[0] != 0.9 {
+		t.Fatalf("Floats: %v %v", scores, err)
+	}
+	// Type errors.
+	if err := tb.AppendRow("x", "y", 0.0); err == nil {
+		t.Fatal("want type error")
+	}
+	if err := tb.AppendRow(int64(1), "z"); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := tb.Floats("name"); err == nil {
+		t.Fatal("want type mismatch error")
+	}
+	if _, err := tb.Floats("nope"); err == nil {
+		t.Fatal("want missing field error")
+	}
+	if v, err := tb.NumericAt(0, "id"); err != nil || v != 1 {
+		t.Fatalf("NumericAt = %v, %v", v, err)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	for i := 0; i < 5; i++ {
+		if err := tb.AppendRow(int64(i), "r", float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := tb.SelectRows([]int{4, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := sub.Ints("id")
+	if ids[0] != 4 || ids[1] != 0 || ids[2] != 4 {
+		t.Fatalf("SelectRows ids = %v", ids)
+	}
+	if _, err := tb.SelectRows([]int{9}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	_ = tb.AppendRow(int64(1), "a,with comma", 1.25)
+	_ = tb.AppendRow(int64(2), `quote"inside`, -3.5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, tb.Schema(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	names, _ := got.Strings("name")
+	if names[0] != "a,with comma" || names[1] != `quote"inside` {
+		t.Fatalf("names = %v", names)
+	}
+	scores, _ := got.Floats("score")
+	if scores[1] != -3.5 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := ReadCSV(strings.NewReader("id,wrong,score\n"), s, true); err == nil {
+		t.Fatal("want header mismatch error")
+	}
+	if _, err := ReadCSV(strings.NewReader("notanint,a,1.0\n"), s, false); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,a,notafloat\n"), s, false); err == nil {
+		t.Fatal("want float parse error")
+	}
+}
+
+func TestToMatrix(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	_ = tb.AppendRow(int64(7), "a", 0.5)
+	_ = tb.AppendRow(int64(8), "b", 1.5)
+	m, err := ToMatrix(tb, []string{"score", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := la.FromRows([][]float64{{0.5, 7}, {1.5, 8}})
+	if !m.Equal(want, 0) {
+		t.Fatalf("ToMatrix = %v", m)
+	}
+	if _, err := ToMatrix(tb, []string{"name"}); err == nil {
+		t.Fatal("want non-numeric error")
+	}
+	if _, err := ToMatrix(NewTable(testSchema(t)), []string{"id"}); err == nil {
+		t.Fatal("want empty table error")
+	}
+}
+
+func TestBufferPoolBasics(t *testing.T) {
+	bp, err := NewBufferPool(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA := PageID{1, 0}
+	data, err := bp.Pin(idA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 42
+	bp.Unpin(idA, true)
+	// Re-pin hits cache.
+	data2, _ := bp.Pin(idA, 4)
+	if data2[0] != 42 {
+		t.Fatal("page content lost while resident")
+	}
+	bp.Unpin(idA, false)
+	st := bp.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBufferPoolEvictionAndReload(t *testing.T) {
+	bp, err := NewBufferPool(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill three pages through a 2-page pool; page 0 must spill and reload.
+	for i := 0; i < 3; i++ {
+		id := PageID{1, i}
+		data, err := bp.Pin(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = float64(100 + i)
+		bp.Unpin(id, true)
+	}
+	st := bp.Stats()
+	if st.Evictions == 0 || st.SpillWrites == 0 {
+		t.Fatalf("expected evictions and spills, got %+v", st)
+	}
+	data, err := bp.Pin(PageID{1, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 100 {
+		t.Fatalf("reloaded page content = %v, want 100", data[0])
+	}
+	bp.Unpin(PageID{1, 0}, false)
+	if bp.Stats().SpillReads == 0 {
+		t.Fatal("expected a spill read")
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	bp, _ := NewBufferPool(1, t.TempDir())
+	if _, err := bp.Pin(PageID{1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Pin(PageID{1, 1}, 2); err == nil {
+		t.Fatal("want exhaustion error when all pages pinned")
+	}
+	bp.Unpin(PageID{1, 0}, false)
+}
+
+func TestBufferPoolFailureInjection(t *testing.T) {
+	bp, _ := NewBufferPool(1, t.TempDir())
+	injected := errors.New("disk on fire")
+	bp.SetFailureHooks(nil, func(PageID) error { return injected })
+	d, _ := bp.Pin(PageID{1, 0}, 2)
+	d[0] = 1
+	bp.Unpin(PageID{1, 0}, true)
+	// Eviction must surface the injected write error.
+	if _, err := bp.Pin(PageID{1, 1}, 2); err == nil || !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected write failure", err)
+	}
+	// Clear write failure, allow spill, then inject read failure.
+	bp.SetFailureHooks(nil, nil)
+	if _, err := bp.Pin(PageID{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(PageID{1, 1}, false)
+	bp.SetFailureHooks(func(PageID) error { return injected }, nil)
+	if _, err := bp.Pin(PageID{1, 0}, 2); err == nil || !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected read failure", err)
+	}
+}
+
+func TestPagedMatrixRoundTrip(t *testing.T) {
+	bp, _ := NewBufferPool(3, t.TempDir())
+	r := rand.New(rand.NewSource(50))
+	d := la.NewDense(37, 5)
+	for i := 0; i < 37; i++ {
+		for j := 0; j < 5; j++ {
+			d.Set(i, j, r.NormFloat64())
+		}
+	}
+	pm, err := NewPagedMatrix(bp, 37, 5, 8) // 5 pages through a 3-page pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.FromDense(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pm.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d, 0) {
+		t.Fatal("paged round trip mismatch")
+	}
+	if bp.Stats().SpillWrites == 0 {
+		t.Fatal("expected spills with 5 pages through 3-page pool")
+	}
+}
+
+func TestPagedMatrixOps(t *testing.T) {
+	bp, _ := NewBufferPool(2, t.TempDir())
+	r := rand.New(rand.NewSource(51))
+	d := la.NewDense(50, 4)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			d.Set(i, j, r.NormFloat64())
+		}
+	}
+	pm, _ := NewPagedMatrix(bp, 50, 4, 7)
+	if err := pm.FromDense(d); err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, -2, 0.5, 3}
+	got, err := pm.MatVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := la.MatVec(d, v)
+	for i := range got {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	gotV, err := pm.VecMat(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := la.VecMat(x, d)
+	for j := range gotV {
+		if diff := gotV[j] - wantV[j]; diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("VecMat[%d] = %v, want %v", j, gotV[j], wantV[j])
+		}
+	}
+	g, err := pm.Gram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(la.Gram(d), 1e-10) {
+		t.Fatal("paged Gram mismatch")
+	}
+	// Row access.
+	row := make([]float64, 4)
+	if err := pm.Row(33, row); err != nil {
+		t.Fatal(err)
+	}
+	for j := range row {
+		if row[j] != d.At(33, j) {
+			t.Fatalf("Row(33) = %v", row)
+		}
+	}
+	if err := pm.SetRow(33, []float64{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	_ = pm.Row(33, row)
+	if row[0] != 9 {
+		t.Fatal("SetRow did not stick")
+	}
+	if err := pm.Drop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagedMatrixValidation(t *testing.T) {
+	bp, _ := NewBufferPool(2, t.TempDir())
+	if _, err := NewPagedMatrix(bp, 0, 3, 2); err == nil {
+		t.Fatal("want dims error")
+	}
+	pm, _ := NewPagedMatrix(bp, 10, 3, 4)
+	if err := pm.SetRow(10, make([]float64, 3)); err == nil {
+		t.Fatal("want range error")
+	}
+	if err := pm.SetRow(0, make([]float64, 2)); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := pm.MatVec(make([]float64, 2)); err == nil {
+		t.Fatal("want MatVec length error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	r := rand.New(rand.NewSource(60))
+	for i := 0; i < 500; i++ {
+		if err := tb.AppendRow(int64(r.Int63()-r.Int63()), strings.Repeat("x", r.Intn(10)), r.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 500 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	wantIDs, _ := tb.Ints("id")
+	gotIDs, _ := got.Ints("id")
+	wantScores, _ := tb.Floats("score")
+	gotScores, _ := got.Floats("score")
+	wantNames, _ := tb.Strings("name")
+	gotNames, _ := got.Strings("name")
+	for i := 0; i < 500; i++ {
+		if wantIDs[i] != gotIDs[i] || wantScores[i] != gotScores[i] || wantNames[i] != gotNames[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	_ = tb.AppendRow(int64(-42), "neg", 3.14)
+	path := t.TempDir() + "/t.dmt"
+	if err := WriteBinaryFile(path, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := got.Ints("id")
+	if ids[0] != -42 {
+		t.Fatalf("id = %d", ids[0])
+	}
+}
+
+func TestBinaryCorruption(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	_ = tb.AppendRow(int64(1), "a", 1.0)
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, tb)
+	data := buf.Bytes()
+	// Bad magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("want magic error")
+	}
+	// Truncated payload.
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("want truncation error")
+	}
+	// Empty input.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want EOF error")
+	}
+}
+
+func TestTableValueAndNumericColumns(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	_ = tb.AppendRow(int64(1), "a", 2.5)
+	if v := tb.Value(0, 0).(int64); v != 1 {
+		t.Fatalf("Value int = %v", v)
+	}
+	if v := tb.Value(0, 1).(string); v != "a" {
+		t.Fatalf("Value string = %v", v)
+	}
+	if v := tb.Value(0, 2).(float64); v != 2.5 {
+		t.Fatalf("Value float = %v", v)
+	}
+	cols := tb.NumericColumns()
+	if len(cols) != 2 || cols[0] != "id" || cols[1] != "score" {
+		t.Fatalf("NumericColumns = %v", cols)
+	}
+	if _, err := tb.NumericAt(0, "name"); err == nil {
+		t.Fatal("want non-numeric error")
+	}
+	if _, err := tb.NumericAt(0, "gone"); err == nil {
+		t.Fatal("want missing error")
+	}
+	if _, err := tb.Ints("name"); err == nil {
+		t.Fatal("want Ints type error")
+	}
+	if _, err := tb.Strings("id"); err == nil {
+		t.Fatal("want Strings type error")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if Float64.String() != "float64" || Int64.String() != "int64" || String.String() != "string" {
+		t.Fatal("ColType names wrong")
+	}
+	if ColType(9).String() == "" {
+		t.Fatal("unknown ColType must format")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustSchema()
+}
+
+func TestFlushAllAndResidentPages(t *testing.T) {
+	bp, _ := NewBufferPool(4, t.TempDir())
+	for i := 0; i < 3; i++ {
+		d, err := bp.Pin(PageID{1, i}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[0] = float64(i)
+		bp.Unpin(PageID{1, i}, true)
+	}
+	if bp.ResidentPages() != 3 {
+		t.Fatalf("resident = %d", bp.ResidentPages())
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().SpillWrites != 3 {
+		t.Fatalf("spill writes = %d", bp.Stats().SpillWrites)
+	}
+	// Flushing again is a no-op (pages clean).
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().SpillWrites != 3 {
+		t.Fatal("clean pages rewritten")
+	}
+	bp.ResetStats()
+	if s := bp.Stats(); s.SpillWrites != 0 || s.Hits != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}
+
+func TestCSVFileHelpers(t *testing.T) {
+	tb := NewTable(testSchema(t))
+	_ = tb.AppendRow(int64(5), "row", 1.5)
+	path := t.TempDir() + "/t.csv"
+	if err := WriteCSVFile(path, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path, tb.Schema(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 1 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if _, err := ReadCSVFile("/nonexistent/x.csv", tb.Schema(), true); err == nil {
+		t.Fatal("want open error")
+	}
+	if err := WriteCSVFile("/nonexistent/dir/x.csv", tb); err == nil {
+		t.Fatal("want create error")
+	}
+}
+
+func TestPagedMatrixDims(t *testing.T) {
+	bp, _ := NewBufferPool(2, t.TempDir())
+	pm, _ := NewPagedMatrix(bp, 10, 3, 4)
+	if r, c := pm.Dims(); r != 10 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	if pm.NumPages() != 3 {
+		t.Fatalf("NumPages = %d", pm.NumPages())
+	}
+}
+
+// Property: arbitrary tables survive both CSV and binary round trips.
+func TestPersistenceRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := NewTable(testSchemaQuiet())
+		n := r.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			name := ""
+			for k := 0; k < r.Intn(8); k++ {
+				name += string(rune('a' + r.Intn(26)))
+			}
+			if r.Intn(4) == 0 {
+				name += `,"` // CSV-hostile characters
+			}
+			if err := tb.AppendRow(r.Int63()-r.Int63(), name, r.NormFloat64()); err != nil {
+				return false
+			}
+		}
+		// Binary.
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, tb); err != nil {
+			return false
+		}
+		fromBin, err := ReadBinary(&bin)
+		if err != nil {
+			return false
+		}
+		// CSV.
+		var csvBuf bytes.Buffer
+		if err := WriteCSV(&csvBuf, tb); err != nil {
+			return false
+		}
+		fromCSV, err := ReadCSV(&csvBuf, tb.Schema(), true)
+		if err != nil {
+			return false
+		}
+		return tablesEqual(tb, fromBin) && tablesEqual(tb, fromCSV)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testSchemaQuiet() *Schema {
+	return MustSchema(
+		Field{"id", Int64},
+		Field{"name", String},
+		Field{"score", Float64},
+	)
+}
+
+func tablesEqual(a, b *Table) bool {
+	if a.NumRows() != b.NumRows() {
+		return false
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		for f := 0; f < a.Schema().NumFields(); f++ {
+			if a.ValueString(r, f) != b.ValueString(r, f) {
+				return false
+			}
+		}
+	}
+	return true
+}
