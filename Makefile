@@ -1,0 +1,25 @@
+# Development targets.
+#
+#   make test           tier-1 gate: build everything, run every test
+#   make check          static analysis + race detector over the concurrent
+#                       packages (paramserver, storage, opt)
+#   make lint-examples  run the DML static analyzer over all shipped scripts
+
+GO ?= go
+
+.PHONY: test check vet race lint-examples
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/paramserver/... ./internal/storage/... ./internal/opt/...
+
+lint-examples:
+	$(GO) run ./cmd/dmml lint -strict examples/dml_script/scripts/*.dml

@@ -10,9 +10,15 @@
 //	dmml -explain script.dml        # print the optimized program, then run
 //	dmml -no-opt script.dml         # skip the rewrite engine
 //	dmml -csv name=path.csv ...     # bind numeric CSV files as matrices
+//	dmml lint script.dml ...        # static analysis only; do not execute
 //
 // CSV bindings load headerless numeric CSV files; each becomes a dense
 // matrix variable available to the script.
+//
+// The lint subcommand runs the static semantic analyzer (shape/type
+// inference plus program lints) and prints diagnostics as
+// "path:line:col: severity[code]: message". It exits non-zero if any script
+// has errors; with -strict, warnings also fail the run.
 package main
 
 import (
@@ -39,6 +45,9 @@ func (c *csvBindings) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	expr := flag.String("e", "", "evaluate this expression instead of a file")
 	explain := flag.Bool("explain", false, "print the optimized program before running")
 	noOpt := flag.Bool("no-opt", false, "disable the rewrite optimizer")
@@ -82,6 +91,9 @@ func main() {
 		fmt.Println("# ---")
 	}
 	val, stats, err := prog.Run(env)
+	for _, w := range stats.Warnings {
+		fmt.Fprintf(os.Stderr, "dmml: warning: %s\n", w.Format(src))
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lint(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := runLint(args, &out, &errOut)
+	if errOut.Len() > 0 {
+		t.Logf("stderr: %s", errOut.String())
+	}
+	return code, out.String()
+}
+
+func TestLintCleanFixture(t *testing.T) {
+	code, out := lint(t, "-strict", "testdata/clean.dml")
+	if code != 0 || out != "" {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestLintBadFixture(t *testing.T) {
+	code, out := lint(t, "testdata/bad.dml")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "testdata/bad.dml:4:7: error[dim-mismatch]") {
+		t.Fatalf("diagnostic missing path:line:col anchor:\n%s", out)
+	}
+}
+
+func TestLintParseError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.dml")
+	writeFile(t, path, "x = (1\n")
+	code, out := lint(t, path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, path+":1:") {
+		t.Fatalf("parse diagnostic not anchored on the file:\n%s", out)
+	}
+}
+
+func TestLintMissingFile(t *testing.T) {
+	if code, _ := lint(t, "no/such/file.dml"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code, _ := lint(t); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+}
+
+// Every DML script shipped under examples/ must lint completely clean, even
+// under -strict.
+func TestLintExampleScripts(t *testing.T) {
+	scripts, err := filepath.Glob("../../examples/*/scripts/*.dml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no example scripts found")
+	}
+	for _, s := range scripts {
+		code, out := lint(t, "-strict", s)
+		if code != 0 {
+			t.Errorf("%s: exit %d:\n%s", s, code, out)
+		}
+	}
+}

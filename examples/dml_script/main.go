@@ -10,6 +10,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,14 +21,16 @@ import (
 	"dmml/internal/workload"
 )
 
-const script = `
-# Ridge regression via the normal equations, then training MSE.
-G = t(X) %*% X + lambda * eye(ncol(X))
-w = solve(G, t(X) %*% y)
-resid = X %*% w - y
-mse = sum(resid ^ 2) / nrow(X)
-mse
-`
+// The scripts live in scripts/ so `dmml lint` (and the lint tests) can check
+// them without running this example.
+var (
+	//go:embed scripts/ridge.dml
+	script string
+	//go:embed scripts/chain.dml
+	chainScript string
+	//go:embed scripts/gd.dml
+	gdScript string
+)
 
 func main() {
 	r := rand.New(rand.NewSource(21))
@@ -75,7 +78,7 @@ func main() {
 		vOpt.S, tOpt.Round(time.Millisecond), statsOpt.CellsAllocated, statsOpt.CSEHits)
 
 	// A second script showing matrix-chain reordering.
-	chain := "A %*% B %*% v"
+	chain := chainScript
 	p2, err := dml.Parse(chain)
 	if err != nil {
 		log.Fatal(err)
@@ -90,7 +93,7 @@ func main() {
 	env2["v"] = dml.Matrix(vv)
 	shapes = dml.ShapesFromEnv(env2)
 	opt2 := p2.Optimize(shapes)
-	fmt.Printf("\nchain %q reordered to %q\n", chain, opt2.String())
+	fmt.Printf("\nchain %q reordered to %q\n", p2.String(), opt2.String())
 	start = time.Now()
 	if _, _, err := p2.Run(env2); err != nil {
 		log.Fatal(err)
@@ -103,18 +106,9 @@ func main() {
 	fmt.Printf("left-to-right: %v, optimized: %v\n",
 		tLeft.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
 
-	// A third script: gradient descent written entirely in DML. The
-	// optimizer hoists the loop-invariant products t(X)%*%X and t(X)%*%y out
-	// of the loop (loop-invariant code motion), so each iteration touches
-	// only d×d state instead of rescanning the n×d data.
-	gd := `
-w = 0 * t(X) %*% y
-for (it in 1:100) {
-  w = w - 0.000005 * (t(X) %*% X %*% w - t(X) %*% y)
-}
-sum((X %*% w - y)^2) / nrow(X)
-`
-	p3, err := dml.Parse(gd)
+	// A third script: gradient descent written entirely in DML, showing
+	// loop-invariant code motion.
+	p3, err := dml.Parse(gdScript)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,273 @@
+package dml
+
+import (
+	"fmt"
+)
+
+// This file implements the static semantic analyzer that runs between
+// parsing and rewriting — the SystemML-style "inter-procedural analysis"
+// pass the paper credits for making declarative ML both safe and fast:
+// matrix dimensions are inferred before execution, so dimension mismatches
+// are compile-time diagnostics instead of runtime explosions, and the
+// inferred sizes drive cost-based rewrites (matrix-chain reordering).
+//
+// The analyzer abstractly interprets the program over the AbsShape lattice
+// (shapes.go): assignments update the store, if-branches analyze both arms
+// and join, and for-loops iterate to a fixpoint (the lattice is finite
+// height, so this converges in a few passes). Error-severity diagnostics
+// fire only for constructs the evaluator is guaranteed to reject, so a
+// program that analyzes cleanly at error level never loses behavior —
+// warnings cover the merely suspicious (unused assignments, unreachable
+// branches, shadowed loop variables, zero-trip loops, maybe-undefined uses).
+
+// Analyze runs the static semantic analyzer with the given input variable
+// shapes (typically ShapesFromEnv of the runtime environment). Variables not
+// in inputs and not assigned earlier in the program are undefined-variable
+// errors. Run calls this automatically as a default-on pre-pass.
+func (p *Program) Analyze(inputs map[string]Shape) *Analysis {
+	return p.analyze(inputs, false)
+}
+
+// Lint analyzes a program without a concrete environment: variables that are
+// read but never assigned anywhere are treated as external inputs of unknown
+// shape rather than errors. This is the mode behind `dmml lint`.
+func (p *Program) Lint(inputs map[string]Shape) *Analysis {
+	return p.analyze(inputs, true)
+}
+
+func (p *Program) analyze(inputs map[string]Shape, assumeInputs bool) *Analysis {
+	a := &analyzer{
+		src:      p.Src,
+		assigned: map[string]bool{},
+	}
+	collectAssigned(p.Stmts, a.assigned)
+
+	env := absEnv{}
+	for name, s := range inputs {
+		env[name] = binding{shape: absFromShape(s), definite: true}
+	}
+	if assumeInputs {
+		// Variables read somewhere but assigned nowhere are the script's
+		// external inputs: bind them as ⊤ so their uses analyze cleanly.
+		reads := map[string]bool{}
+		collectReads(p.Stmts, reads)
+		for name := range reads {
+			if !a.assigned[name] {
+				if _, bound := env[name]; !bound {
+					env[name] = binding{shape: topAbs(), definite: true}
+				}
+			}
+		}
+	}
+
+	out := a.block(p.Stmts, env)
+	a.lintUnused(p.Stmts)
+	sortDiags(a.diags)
+
+	shapes := make(map[string]AbsShape, len(out))
+	for name, b := range out {
+		shapes[name] = b.shape
+	}
+	return &Analysis{Diags: a.diags, Shapes: shapes, src: p.Src}
+}
+
+type analyzer struct {
+	src      string
+	diags    []Diagnostic
+	assigned map[string]bool // every variable assigned anywhere (textual)
+	mute     int             // >0 during loop-fixpoint warm-up passes
+}
+
+func (a *analyzer) report(pos int, sev Severity, code, msg string) {
+	if a.mute > 0 {
+		return
+	}
+	a.diags = append(a.diags, Diagnostic{Pos: pos, Severity: sev, Code: code, Msg: msg})
+}
+
+func (a *analyzer) hooks(env absEnv) *shapeHooks {
+	return &shapeHooks{
+		report: a.report,
+		missing: func(name string, pos int) AbsShape {
+			if a.assigned[name] {
+				a.report(pos, SevError, CodeUndefinedVar,
+					fmt.Sprintf("variable %q is used before it is assigned", name))
+			} else {
+				a.report(pos, SevError, CodeUndefinedVar,
+					fmt.Sprintf("undefined variable %q", name))
+			}
+			return topAbs()
+		},
+	}
+}
+
+func (a *analyzer) infer(n Node, env absEnv) AbsShape {
+	return inferAbs(n, env, a.hooks(env))
+}
+
+// block abstractly interprets a statement list, mutating and returning the
+// store.
+func (a *analyzer) block(stmts []Stmt, env absEnv) absEnv {
+	for _, stmt := range stmts {
+		switch {
+		case stmt.For != nil:
+			env = a.forStmt(stmt, env)
+		case stmt.If != nil:
+			env = a.ifStmt(stmt, env)
+		default:
+			sh := a.infer(stmt.Expr, env)
+			if stmt.Name != "" {
+				env[stmt.Name] = binding{shape: sh, definite: true}
+			}
+		}
+	}
+	return env
+}
+
+func (a *analyzer) ifStmt(stmt Stmt, env absEnv) absEnv {
+	f := stmt.If
+	condSh := a.infer(f.Cond, env)
+	if condSh.IsMatrix() {
+		a.report(f.Cond.pos(), SevError, CodeTypeMismatch, "if condition must be a scalar")
+	}
+	if v, ok := condSh.Const(); ok {
+		// Constant condition: one branch is unreachable. Analyze only the
+		// live branch — diagnostics inside dead code would be spurious.
+		if v != 0 {
+			if len(f.Else) > 0 {
+				a.report(f.Else[0].Pos, SevWarning, CodeUnreachable,
+					"unreachable: else branch of a condition that is always true")
+			}
+			return a.block(f.Then, env)
+		}
+		if len(f.Then) > 0 {
+			a.report(f.Then[0].Pos, SevWarning, CodeUnreachable,
+				"unreachable: then branch of a condition that is always false")
+		}
+		if f.Else != nil {
+			return a.block(f.Else, env)
+		}
+		return env
+	}
+	thenEnv := a.block(f.Then, env.clone())
+	elseEnv := a.block(f.Else, env.clone())
+	return joinEnv(thenEnv, elseEnv)
+}
+
+// maxLoopFixpoint caps abstract loop iterations; the lattice is finite
+// height (const → scalar → ⊤; known dim → ?), so real programs converge in
+// two or three passes.
+const maxLoopFixpoint = 10
+
+func (a *analyzer) forStmt(stmt Stmt, env absEnv) absEnv {
+	f := stmt.For
+	fromSh := a.infer(f.From, env)
+	toSh := a.infer(f.To, env)
+	if fromSh.IsMatrix() || toSh.IsMatrix() {
+		a.report(stmt.Pos, SevError, CodeTypeMismatch, "loop bounds must be scalars")
+	}
+	if _, shadowed := env[f.Var]; shadowed {
+		a.report(stmt.Pos, SevWarning, CodeShadowedVar,
+			fmt.Sprintf("loop variable %q shadows an existing variable", f.Var))
+	}
+
+	trip := DimUnknown // statically known trip count, if any
+	if fv, ok := fromSh.Const(); ok {
+		if tv, ok := toSh.Const(); ok {
+			trip = int(tv) - int(fv) + 1
+			if trip > maxLoopIters {
+				a.report(stmt.Pos, SevError, CodeBadArg,
+					fmt.Sprintf("loop of %d iterations exceeds the %d cap", trip, maxLoopIters))
+				return env
+			}
+			if trip <= 0 {
+				a.report(stmt.Pos, SevWarning, CodeEmptyLoop,
+					fmt.Sprintf("loop from %g to %g never executes", fv, tv))
+				// Zero-trip: the body never runs and the loop variable is
+				// never bound; the store is untouched.
+				return env
+			}
+		}
+	}
+
+	// Fixpoint: cur is the abstract store at the loop head after any number
+	// of iterations. Warm-up passes run muted so diagnostics are emitted
+	// exactly once, by the final pass over the stable store.
+	cur := env
+	a.mute++
+	for i := 0; i < maxLoopFixpoint; i++ {
+		in := cur.clone()
+		in[f.Var] = binding{shape: scalarAbs(), definite: true}
+		out := a.block(f.Body, in)
+		next := joinEnv(cur, out)
+		if envEqual(next, cur) {
+			break
+		}
+		cur = next
+	}
+	a.mute--
+
+	in := cur.clone()
+	in[f.Var] = binding{shape: scalarAbs(), definite: true}
+	out := a.block(f.Body, in)
+	if trip >= 1 {
+		// The body definitely runs: post-state is the (joined) body exit,
+		// and the loop variable stays bound, matching R semantics.
+		return out
+	}
+	return joinEnv(env, out)
+}
+
+// lintUnused warns about variables that are assigned somewhere but never
+// read anywhere in the program. The final statement is exempt: its value is
+// the program result even when it is an assignment.
+func (a *analyzer) lintUnused(stmts []Stmt) {
+	reads := map[string]bool{}
+	collectReads(stmts, reads)
+	finalName := ""
+	if n := len(stmts); n > 0 {
+		finalName = stmts[n-1].Name
+	}
+	seen := map[string]bool{}
+	var walk func(stmts []Stmt, skipLast bool)
+	walk = func(stmts []Stmt, topLevel bool) {
+		for i, stmt := range stmts {
+			switch {
+			case stmt.For != nil:
+				walk(stmt.For.Body, false)
+			case stmt.If != nil:
+				walk(stmt.If.Then, false)
+				walk(stmt.If.Else, false)
+			case stmt.Name != "":
+				if topLevel && i == len(stmts)-1 && stmt.Name == finalName {
+					continue
+				}
+				if !reads[stmt.Name] && !seen[stmt.Name] {
+					seen[stmt.Name] = true
+					a.report(stmt.Pos, SevWarning, CodeUnusedVar,
+						fmt.Sprintf("variable %q is assigned but never read", stmt.Name))
+				}
+			}
+		}
+	}
+	walk(stmts, true)
+}
+
+// collectReads records every variable referenced in read position anywhere
+// in the statement list: expressions, loop bounds, and conditions.
+func collectReads(stmts []Stmt, into map[string]bool) {
+	for _, stmt := range stmts {
+		switch {
+		case stmt.For != nil:
+			freeVars(stmt.For.From, into)
+			freeVars(stmt.For.To, into)
+			collectReads(stmt.For.Body, into)
+		case stmt.If != nil:
+			freeVars(stmt.If.Cond, into)
+			collectReads(stmt.If.Then, into)
+			collectReads(stmt.If.Else, into)
+		default:
+			freeVars(stmt.Expr, into)
+		}
+	}
+}

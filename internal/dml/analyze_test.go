@@ -1,0 +1,325 @@
+package dml
+
+import (
+	"strings"
+	"testing"
+
+	"dmml/internal/la"
+)
+
+// analyzeSrc parses src and runs the analyzer with the given input shapes.
+func analyzeSrc(t *testing.T, src string, inputs map[string]Shape) *Analysis {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p.Analyze(inputs)
+}
+
+// TestShapeInferenceBuiltins covers the abstract shape of every builtin in
+// ast.go's supported list (plus operators, indexing, and the internal fused
+// ops), checked through a one-assignment program.
+func TestShapeInferenceBuiltins(t *testing.T) {
+	inputs := map[string]Shape{
+		"X": matShape(4, 3), // rectangular data
+		"G": matShape(3, 3), // square (trace/solve)
+		"z": matShape(3, 1), // column vector
+		"s": scalarShape(),
+	}
+	cases := []struct{ src, want string }{
+		{"t(X)", "matrix(3x4)"},
+		{"sum(X)", "scalar"},
+		{"mean(X)", "scalar"},
+		{"min(X)", "scalar"},
+		{"max(X)", "scalar"},
+		{"trace(G)", "scalar"},
+		{"nrow(X)", "scalar(4)"},
+		{"ncol(X)", "scalar(3)"},
+		{"rowSums(X)", "matrix(4x1)"},
+		{"colSums(X)", "matrix(1x3)"},
+		{"exp(X)", "matrix(4x3)"},
+		{"log(X)", "matrix(4x3)"},
+		{"sqrt(X)", "matrix(4x3)"},
+		{"abs(s)", "scalar"},
+		{"sigmoid(X)", "matrix(4x3)"},
+		{"eye(5)", "matrix(5x5)"},
+		{"eye(ncol(X))", "matrix(3x3)"},
+		{"solve(G, z)", "matrix(3x1)"},
+		{"cbind(X, X)", "matrix(4x6)"},
+		{"rbind(X, X)", "matrix(8x3)"},
+		// Operators and indexing.
+		{"X %*% t(X)", "matrix(4x4)"},
+		{"t(X) %*% X", "matrix(3x3)"},
+		{"X + X", "matrix(4x3)"},
+		{"2 * X", "matrix(4x3)"},
+		{"X ^ 2", "matrix(4x3)"},
+		{"-X", "matrix(4x3)"},
+		{"X[1:2, ]", "matrix(2x3)"},
+		{"X[1, ]", "matrix(1x3)"},
+		{"X[2, 3]", "scalar"},
+		{"s < 3", "scalar"},
+		{"2 < 3", "scalar(1)"},
+		{"nrow(X) + ncol(X)", "scalar(7)"},
+		{"nrow(X) * s", "scalar"},
+		{"1 + 2 * 3", "scalar(7)"},
+	}
+	for _, c := range cases {
+		a := analyzeSrc(t, "r = "+c.src, inputs)
+		if a.HasErrors() {
+			t.Fatalf("%s: unexpected errors: %s", c.src, a.Format())
+		}
+		got := a.Shapes["r"].String()
+		if got != c.want {
+			t.Errorf("shape(%s) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+// TestShapeInferenceFusedOps covers the internal rewriter-produced builtins.
+func TestShapeInferenceFusedOps(t *testing.T) {
+	env := absEnv{
+		"A": {shape: matrixAbs(3, 4), definite: true},
+		"B": {shape: matrixAbs(4, 3), definite: true},
+	}
+	sq := &Call{Fn: "__sumsq", Args: []Node{&Var{Name: "A"}}}
+	if got := inferAbs(sq, env, nil).String(); got != "scalar" {
+		t.Fatalf("__sumsq shape = %s", got)
+	}
+	tr := &Call{Fn: "__tracemm", Args: []Node{&Var{Name: "A"}, &Var{Name: "B"}}}
+	if got := inferAbs(tr, env, nil).String(); got != "scalar" {
+		t.Fatalf("__tracemm shape = %s", got)
+	}
+}
+
+// A dimension mismatch is rejected by the analyzer with a line:col
+// diagnostic before any statement executes: the assignment preceding the bad
+// statement must not reach the environment.
+func TestAnalyzerRejectsMismatchWithoutExecuting(t *testing.T) {
+	src := "x = 1\nB = A %*% C\nB"
+	env := Env{
+		"A": Matrix(la.NewDense(2, 3)),
+		"C": Matrix(la.NewDense(2, 2)), // inner dims 3 != 2
+	}
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = p.Run(env)
+	if err == nil {
+		t.Fatal("Run should fail on the static dimension mismatch")
+	}
+	if !strings.Contains(err.Error(), CodeDimMismatch) {
+		t.Fatalf("error should carry %s, got: %v", CodeDimMismatch, err)
+	}
+	if !strings.Contains(err.Error(), "2:7") {
+		t.Fatalf("error should point at line 2 col 7 (the %%*%%), got: %v", err)
+	}
+	if _, executed := env["x"]; executed {
+		t.Fatal("statement 1 executed despite the static error: eval was reached")
+	}
+}
+
+// The matrix-chain DP must pick the FLOP-minimal association using shapes
+// only the analyzer's abstract interpreter can derive: eye(n) with a
+// constant-propagated n, and index spans over it.
+func TestChainReorderUsesAnalyzerInferredShapes(t *testing.T) {
+	src := `
+n = 100
+B = eye(n)
+A = B[1:2, ]
+v = B[, 1]
+A %*% B %*% v
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := p.Optimize(nil)
+	if !strings.Contains(opt.String(), "(A %*% (B %*% v))") {
+		t.Fatalf("chain not reordered from inferred shapes:\n%s", opt)
+	}
+	// And the plan is semantically intact.
+	v, _, err := opt.Run(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsScalar || v.M.Rows() != 2 || v.M.Cols() != 1 {
+		t.Fatalf("result = %v", v)
+	}
+}
+
+// Shapes survive if/else joins when both branches agree, and degrade to
+// unknown dims (not errors) when they disagree.
+func TestAnalyzerControlFlowJoins(t *testing.T) {
+	inputs := map[string]Shape{"q": scalarShape()}
+	a := analyzeSrc(t, `
+if (q > 0) {
+  M = eye(3)
+} else {
+  M = eye(3)
+}
+r = M %*% M
+r`, inputs)
+	if a.HasErrors() {
+		t.Fatalf("unexpected errors: %s", a.Format())
+	}
+	if got := a.Shapes["r"].String(); got != "matrix(3x3)" {
+		t.Fatalf("joined shape = %s", got)
+	}
+
+	a = analyzeSrc(t, `
+if (q > 0) {
+  M = eye(3)
+} else {
+  M = eye(4)
+}
+r = M %*% M
+r`, inputs)
+	if a.HasErrors() {
+		t.Fatalf("disagreeing join must not error: %s", a.Format())
+	}
+	if got := a.Shapes["M"].String(); got != "matrix(?x?)" {
+		t.Fatalf("joined shape = %s", got)
+	}
+}
+
+// Loop bodies analyze to a fixpoint: a shape that changes across iterations
+// (growing cbind) widens to unknown instead of erroring, while stable shapes
+// stay precise.
+func TestAnalyzerLoopFixpoint(t *testing.T) {
+	a := analyzeSrc(t, `
+Acc = eye(4)
+for (i in 1:3) {
+  Acc = cbind(Acc, eye(4))
+}
+Acc`, nil)
+	if a.HasErrors() {
+		t.Fatalf("growing loop must not error: %s", a.Format())
+	}
+	if got := a.Shapes["Acc"].String(); got != "matrix(4x?)" {
+		t.Fatalf("widened shape = %s, want matrix(4x?)", got)
+	}
+
+	a = analyzeSrc(t, `
+w = eye(5)
+for (i in 1:3) {
+  w = w %*% w
+}
+r = nrow(w)
+r`, nil)
+	if a.HasErrors() {
+		t.Fatalf("stable loop must not error: %s", a.Format())
+	}
+	if got := a.Shapes["w"].String(); got != "matrix(5x5)" {
+		t.Fatalf("stable shape = %s", got)
+	}
+	if got := a.Shapes["r"].String(); got != "scalar(5)" {
+		t.Fatalf("nrow over loop fixpoint = %s", got)
+	}
+}
+
+// Optimize (including the LICM statement rebuild) must preserve statement
+// positions, or post-optimization diagnostics would all point at 1:1.
+func TestOptimizePreservesStmtPositions(t *testing.T) {
+	p := mustParse(t, "x = 1\nfor (i in 5:1) {\n  x = x + 1\n}\nx")
+	opt := p.Optimize(nil)
+	for _, d := range opt.Analyze(nil).Warnings() {
+		if d.Code == CodeEmptyLoop {
+			if line, col := lineCol(opt.Src, d.Pos); line != 2 || col != 1 {
+				t.Fatalf("empty-loop warning at %d:%d, want 2:1", line, col)
+			}
+			return
+		}
+	}
+	t.Fatal("no empty-loop warning after Optimize")
+}
+
+// Warnings collect into EvalStats without aborting evaluation.
+func TestRunCollectsWarnings(t *testing.T) {
+	v, stats, err := mustParse(t, "dead = 1\ns = 2\ns + 1").Run(Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != 3 {
+		t.Fatalf("result = %v", v)
+	}
+	if len(stats.Warnings) != 1 || stats.Warnings[0].Code != CodeUnusedVar {
+		t.Fatalf("warnings = %v", stats.Warnings)
+	}
+}
+
+// The final statement's assignment is the program's result value and is
+// exempt from the unused-variable lint.
+func TestUnusedExemptsFinalStatement(t *testing.T) {
+	a := analyzeSrc(t, "w = eye(2)\nw2 = w %*% w", nil)
+	for _, d := range a.Diags {
+		if d.Code == CodeUnusedVar {
+			t.Fatalf("final assignment flagged unused: %s", a.Format())
+		}
+	}
+}
+
+// Analyzer arity checking catches programmatically built calls the parser
+// could never produce.
+func TestAnalyzerArity(t *testing.T) {
+	p := &Program{Stmts: []Stmt{{Expr: &Call{Fn: "solve", Args: []Node{&NumLit{Val: 1}}}}}}
+	a := p.Analyze(nil)
+	if !a.HasErrors() || a.Errors()[0].Code != CodeBadArity {
+		t.Fatalf("diags = %v", a.Diags)
+	}
+	p = &Program{Stmts: []Stmt{{Expr: &Call{Fn: "nonsense", Args: nil}}}}
+	if a := p.Analyze(nil); !a.HasErrors() || a.Errors()[0].Code != CodeBadArity {
+		t.Fatalf("diags = %v", a.Diags)
+	}
+}
+
+// Lint mode treats never-assigned variables as external inputs; Run mode
+// (concrete env) treats them as undefined.
+func TestLintAssumesInputs(t *testing.T) {
+	p := mustParse(t, "G = t(X) %*% X\nG")
+	if a := p.Lint(nil); a.HasErrors() {
+		t.Fatalf("lint mode should assume X is an input: %s", a.Format())
+	}
+	if a := p.Analyze(nil); !a.HasErrors() || a.Errors()[0].Code != CodeUndefinedVar {
+		t.Fatalf("strict mode should reject undefined X: %s", a.Format())
+	}
+}
+
+// lineCol satellite: offsets convert to 1-based line:col, clamped at EOF.
+func TestLineCol(t *testing.T) {
+	src := "ab\ncde\n\nf"
+	cases := []struct{ pos, line, col int }{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // "ab" and its newline
+		{3, 2, 1}, {5, 2, 3},            // "cde"
+		{7, 3, 1},                       // empty line
+		{8, 4, 1},                       // "f"
+		{99, 4, 2},                      // clamped past EOF
+	}
+	for _, c := range cases {
+		line, col := lineCol(src, c.pos)
+		if line != c.line || col != c.col {
+			t.Errorf("lineCol(%d) = %d:%d, want %d:%d", c.pos, line, col, c.line, c.col)
+		}
+	}
+}
+
+// Parser and evaluator error messages carry line:col (satellite: shared
+// lineCol helper replaces raw byte offsets everywhere).
+func TestErrorsReportLineCol(t *testing.T) {
+	_, err := Parse("x = 1\ny = (2")
+	if err == nil || !strings.Contains(err.Error(), "2:7") {
+		t.Fatalf("parse error should carry 2:7, got %v", err)
+	}
+	_, err = Parse("x = 1\nz = 3 @ 4")
+	if err == nil || !strings.Contains(err.Error(), "2:7") {
+		t.Fatalf("lex error should carry 2:7, got %v", err)
+	}
+	// Evaluator (runtime) errors: the loop widens k to a non-constant scalar,
+	// so the out-of-range index is only detectable at runtime.
+	p := mustParse(t, "k = 0\nfor (i in 1:3) {\n  k = k + 1\n}\nA[k + 5, 1]")
+	_, _, err = p.Run(Env{"A": Matrix(la.NewDense(2, 2))})
+	if err == nil || !strings.Contains(err.Error(), "5:1") {
+		t.Fatalf("runtime error should carry 5:1, got %v", err)
+	}
+}

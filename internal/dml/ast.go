@@ -100,6 +100,7 @@ type Stmt struct {
 	Expr Node
 	For  *ForStmt
 	If   *IfStmt
+	Pos  int // byte offset of the statement's first token
 }
 
 // ForStmt is a counted loop: `for (v in from:to) { body }`. Bounds evaluate
@@ -146,9 +147,12 @@ func indentStmts(stmts []Stmt) string {
 	return strings.Join(lines, "\n")
 }
 
-// Program is a parsed (and possibly rewritten) statement list.
+// Program is a parsed (and possibly rewritten) statement list. Src holds the
+// original source text when the program came from Parse, so analyzer and
+// evaluator diagnostics can report line:col positions.
 type Program struct {
 	Stmts []Stmt
+	Src   string
 }
 
 // String renders the program source-like, one statement per line.

@@ -42,23 +42,44 @@ type EvalStats struct {
 	Flops float64
 	// CSEHits counts subexpressions answered from the per-statement cache.
 	CSEHits int64
+	// Warnings holds the lint findings collected by the static analyzer
+	// pre-pass (errors abort before evaluation and never appear here).
+	Warnings []Diagnostic
 }
 
 // Run evaluates the program against env (mutating it with assignments) and
 // returns the value of the final statement plus evaluation statistics.
+//
+// Before any statement executes, the static semantic analyzer validates the
+// program against the environment's shapes: error diagnostics (undefined
+// variables, dimension mismatches, type errors) abort with no evaluation at
+// all, while warnings are collected into EvalStats.Warnings.
 func (p *Program) Run(env Env) (Value, *EvalStats, error) {
 	stats := &EvalStats{}
-	last, err := runStmts(env, stats, p.Stmts)
+	a := p.Analyze(ShapesFromEnv(env))
+	stats.Warnings = a.Warnings()
+	if errs := a.Errors(); len(errs) > 0 {
+		msg := errs[0].Format(p.Src)
+		if len(errs) > 1 {
+			msg = fmt.Sprintf("%s (and %d more errors)", msg, len(errs)-1)
+		}
+		return Value{}, stats, fmt.Errorf("dml: %s", msg)
+	}
+	last, err := runStmts(env, stats, p.Stmts, p.Src)
 	return last, stats, err
 }
 
 // maxLoopIters caps counted loops so a typo cannot hang the interpreter.
 const maxLoopIters = 10_000_000
 
-func runStmts(env Env, stats *EvalStats, stmts []Stmt) (Value, error) {
+func runStmts(env Env, stats *EvalStats, stmts []Stmt, src string) (Value, error) {
 	var last Value
 	for i, stmt := range stmts {
 		fail := func(err error) (Value, error) {
+			if src != "" {
+				return Value{}, fmt.Errorf("dml: %s: statement %d (%s): %w",
+					posString(src, stmt.Pos), i+1, stmt, err)
+			}
 			return Value{}, fmt.Errorf("dml: statement %d (%s): %w", i+1, stmt, err)
 		}
 		switch {
@@ -81,7 +102,7 @@ func runStmts(env Env, stats *EvalStats, stmts []Stmt) (Value, error) {
 			}
 			for k := from; k <= to; k++ {
 				env[stmt.For.Var] = Scalar(float64(k))
-				v, err := runStmts(env, stats, stmt.For.Body)
+				v, err := runStmts(env, stats, stmt.For.Body, src)
 				if err != nil {
 					return Value{}, err
 				}
@@ -100,7 +121,7 @@ func runStmts(env Env, stats *EvalStats, stmts []Stmt) (Value, error) {
 			if cond.S == 0 {
 				branch = stmt.If.Else
 			}
-			v, err := runStmts(env, stats, branch)
+			v, err := runStmts(env, stats, branch, src)
 			if err != nil {
 				return Value{}, err
 			}

@@ -144,6 +144,45 @@ func TestOptimizerPreservesSemanticsFuzz(t *testing.T) {
 	}
 }
 
+// Property: the static analyzer is sound — on any program the evaluator
+// accepts, it never panics and never reports an error-severity diagnostic
+// (warnings are fine). Checked on both the naive and optimized forms, so the
+// analyzer also understands the rewriter's internal fused operators.
+func TestAnalyzerSoundnessFuzz(t *testing.T) {
+	const side = 6
+	shapes := map[string]Shape{"A": matShape(side, side), "B": matShape(side, side)}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := la.NewDense(side, side)
+		b := la.NewDense(side, side)
+		for i := 0; i < side; i++ {
+			for j := 0; j < side; j++ {
+				a.Set(i, j, r.NormFloat64())
+				b.Set(i, j, r.NormFloat64())
+			}
+		}
+		expr := genExpr(r, 3+r.Intn(3))
+		prog := &Program{Stmts: []Stmt{{Expr: expr}}}
+
+		// Evaluate without the analyzer pre-pass to get ground truth.
+		env := Env{"A": Matrix(a), "B": Matrix(b)}
+		_, evalErr := runStmts(env, &EvalStats{}, prog.Stmts, "")
+
+		for _, p := range []*Program{prog, prog.Optimize(shapes)} {
+			an := p.Analyze(shapes)
+			if evalErr == nil && an.HasErrors() {
+				t.Logf("seed %d: evaluator accepts %s but analyzer reports:\n%s",
+					seed, p, an.Format())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: Optimize is idempotent — a second pass changes nothing.
 func TestOptimizerIdempotentFuzz(t *testing.T) {
 	const side = 5

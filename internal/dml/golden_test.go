@@ -1,0 +1,82 @@
+package dml
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/lint/*.golden from current analyzer output")
+
+// TestLintGoldens runs the linter over every fixture in testdata/lint and
+// compares the full diagnostic listing against the checked-in golden file.
+// Together the fixtures cover every diagnostic code the analyzer can emit.
+func TestLintGoldens(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "lint", "*.dml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no lint fixtures found")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".dml")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("fixtures must parse; %s: %v", file, err)
+			}
+			got := p.Lint(nil).Format()
+			if got != "" {
+				got += "\n"
+			}
+			golden := strings.TrimSuffix(file, ".dml") + ".golden"
+			if *updateGoldens {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-goldens): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics for %s differ\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldensCoverAllCodes fails when a diagnostic code has no fixture
+// exercising it, so new lint rules must ship with golden coverage.
+func TestGoldensCoverAllCodes(t *testing.T) {
+	codes := []string{
+		CodeUndefinedVar, CodeDimMismatch, CodeTypeMismatch, CodeBadArg,
+		CodeUnusedVar, CodeUnreachable, CodeEmptyLoop, CodeShadowedVar,
+		CodeMaybeUndefined,
+	}
+	goldens, err := filepath.Glob(filepath.Join("testdata", "lint", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, g := range goldens {
+		b, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(b)
+	}
+	for _, code := range codes {
+		if !strings.Contains(all.String(), "["+code+"]") {
+			t.Errorf("no golden fixture covers diagnostic code %q", code)
+		}
+	}
+}

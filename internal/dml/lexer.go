@@ -91,7 +91,7 @@ func lex(src string) ([]token, error) {
 				op += "="
 				i++
 			} else if c == '!' {
-				return nil, fmt.Errorf("dml: position %d: unexpected '!'; only != is supported", i)
+				return nil, fmt.Errorf("dml: %s: unexpected '!'; only != is supported", posString(src, i))
 			}
 			toks = append(toks, token{kind: tokOp, text: op, pos: i})
 			i++
@@ -100,7 +100,7 @@ func lex(src string) ([]token, error) {
 				toks = append(toks, token{kind: tokMatMul, text: "%*%", pos: i})
 				i += 3
 			} else {
-				return nil, fmt.Errorf("dml: position %d: unexpected %%; only %%*%% is supported", i)
+				return nil, fmt.Errorf("dml: %s: unexpected %%; only %%*%% is supported", posString(src, i))
 			}
 		case c == '=':
 			if i+1 < n && src[i+1] == '=' {
@@ -134,7 +134,7 @@ func lex(src string) ([]token, error) {
 			}
 			v, err := strconv.ParseFloat(src[i:j], 64)
 			if err != nil {
-				return nil, fmt.Errorf("dml: position %d: bad number %q", i, src[i:j])
+				return nil, fmt.Errorf("dml: %s: bad number %q", posString(src, i), src[i:j])
 			}
 			toks = append(toks, token{kind: tokNum, text: src[i:j], num: v, pos: i})
 			i = j
@@ -146,7 +146,7 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
 			i = j
 		default:
-			return nil, fmt.Errorf("dml: position %d: unexpected character %q", i, c)
+			return nil, fmt.Errorf("dml: %s: unexpected character %q", posString(src, i), c)
 		}
 	}
 	toks = append(toks, token{kind: tokEOF, pos: n})

@@ -47,13 +47,13 @@ func applyLICM(stmts []Stmt, counter *int) []Stmt {
 			out = append(out, prelude...)
 			out = append(out, Stmt{For: &ForStmt{
 				Var: stmt.For.Var, From: stmt.For.From, To: stmt.For.To, Body: body,
-			}})
+			}, Pos: stmt.Pos})
 		case stmt.If != nil:
 			out = append(out, Stmt{If: &IfStmt{
 				Cond: stmt.If.Cond,
 				Then: applyLICM(stmt.If.Then, counter),
 				Else: applyLICM(stmt.If.Else, counter),
-			}})
+			}, Pos: stmt.Pos})
 		default:
 			out = append(out, stmt)
 		}
@@ -162,7 +162,7 @@ func hoistNodeCtx(n Node, assigned map[string]bool, hoisted map[string]string, p
 			*counter++
 			name = fmt.Sprintf("%s%d", licmTempPrefix, *counter)
 			hoisted[key] = name
-			*prelude = append(*prelude, Stmt{Name: name, Expr: n})
+			*prelude = append(*prelude, Stmt{Name: name, Expr: n, Pos: n.pos()})
 		}
 		return &Var{Name: name, Pos: n.pos()}
 	}

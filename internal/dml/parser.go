@@ -3,13 +3,15 @@ package dml
 import "fmt"
 
 // Parse parses a DML program: newline-separated assignments and expressions.
+// The returned Program retains the source text so analyzer and evaluator
+// diagnostics can report line:col positions.
 func Parse(src string) (*Program, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	prog := &Program{}
+	p := &parser{toks: toks, src: src}
+	prog := &Program{Src: src}
 	for {
 		p.skipNewlines()
 		if p.peek().kind == tokEOF {
@@ -25,7 +27,7 @@ func Parse(src string) (*Program, error) {
 			p.next()
 		case tokEOF:
 		default:
-			return nil, fmt.Errorf("dml: position %d: unexpected %s after statement", p.peek().pos, p.peek())
+			return nil, p.errAt(p.peek().pos, "unexpected %s after statement", p.peek())
 		}
 	}
 	if len(prog.Stmts) == 0 {
@@ -36,7 +38,13 @@ func Parse(src string) (*Program, error) {
 
 type parser struct {
 	toks []token
+	src  string
 	at   int
+}
+
+// errAt formats a parse error anchored at a byte offset as line:col.
+func (p *parser) errAt(pos int, format string, args ...any) error {
+	return fmt.Errorf("dml: %s: %s", posString(p.src, pos), fmt.Sprintf(format, args...))
 }
 
 func (p *parser) peek() token  { return p.toks[p.at] }
@@ -50,6 +58,7 @@ func (p *parser) skipNewlines() {
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
+	start := p.peek().pos
 	if p.peek().kind == tokIdent {
 		switch p.peek().text {
 		case "for":
@@ -65,25 +74,26 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return Stmt{}, err
 		}
-		return Stmt{Name: name, Expr: expr}, nil
+		return Stmt{Name: name, Expr: expr, Pos: start}, nil
 	}
 	expr, err := p.parseExpr()
 	if err != nil {
 		return Stmt{}, err
 	}
-	return Stmt{Expr: expr}, nil
+	return Stmt{Expr: expr, Pos: start}, nil
 }
 
 func (p *parser) expect(kind tokKind, what string) (token, error) {
 	t := p.peek()
 	if t.kind != kind {
-		return t, fmt.Errorf("dml: position %d: expected %s, got %s", t.pos, what, t)
+		return t, p.errAt(t.pos, "expected %s, got %s", what, t)
 	}
 	return p.next(), nil
 }
 
 // parseFor parses `for (v in from:to) { body }`.
 func (p *parser) parseFor() (Stmt, error) {
+	start := p.peek().pos
 	p.next() // "for"
 	if _, err := p.expect(tokLParen, "("); err != nil {
 		return Stmt{}, err
@@ -94,7 +104,7 @@ func (p *parser) parseFor() (Stmt, error) {
 	}
 	kw := p.peek()
 	if kw.kind != tokIdent || kw.text != "in" {
-		return Stmt{}, fmt.Errorf("dml: position %d: expected \"in\", got %s", kw.pos, kw)
+		return Stmt{}, p.errAt(kw.pos, "expected \"in\", got %s", kw)
 	}
 	p.next()
 	from, err := p.parseExpr()
@@ -115,11 +125,12 @@ func (p *parser) parseFor() (Stmt, error) {
 	if err != nil {
 		return Stmt{}, err
 	}
-	return Stmt{For: &ForStmt{Var: v.text, From: from, To: to, Body: body}}, nil
+	return Stmt{For: &ForStmt{Var: v.text, From: from, To: to, Body: body}, Pos: start}, nil
 }
 
 // parseIf parses `if (cond) { then } [else { else }]`.
 func (p *parser) parseIf() (Stmt, error) {
+	start := p.peek().pos
 	p.next() // "if"
 	if _, err := p.expect(tokLParen, "("); err != nil {
 		return Stmt{}, err
@@ -135,7 +146,7 @@ func (p *parser) parseIf() (Stmt, error) {
 	if err != nil {
 		return Stmt{}, err
 	}
-	st := Stmt{If: &IfStmt{Cond: cond, Then: then}}
+	st := Stmt{If: &IfStmt{Cond: cond, Then: then}, Pos: start}
 	if p.peek().kind == tokIdent && p.peek().text == "else" {
 		p.next()
 		els, err := p.parseBlock()
@@ -160,7 +171,7 @@ func (p *parser) parseBlock() ([]Stmt, error) {
 			return body, nil
 		}
 		if p.peek().kind == tokEOF {
-			return nil, fmt.Errorf("dml: position %d: unterminated block", p.peek().pos)
+			return nil, p.errAt(p.peek().pos, "unterminated block")
 		}
 		stmt, err := p.parseStmt()
 		if err != nil {
@@ -172,7 +183,7 @@ func (p *parser) parseBlock() ([]Stmt, error) {
 			p.next()
 		case tokRBrace:
 		default:
-			return nil, fmt.Errorf("dml: position %d: unexpected %s in block", p.peek().pos, p.peek())
+			return nil, p.errAt(p.peek().pos, "unexpected %s in block", p.peek())
 		}
 	}
 }
@@ -339,7 +350,7 @@ func (p *parser) parsePrimary() (Node, error) {
 		// Function call.
 		arity, ok := builtins[t.text]
 		if !ok {
-			return nil, fmt.Errorf("dml: position %d: unknown function %q", t.pos, t.text)
+			return nil, p.errAt(t.pos, "unknown function %q", t.text)
 		}
 		p.next() // '('
 		var args []Node
@@ -358,11 +369,11 @@ func (p *parser) parsePrimary() (Node, error) {
 			}
 		}
 		if p.peek().kind != tokRParen {
-			return nil, fmt.Errorf("dml: position %d: expected ) in call to %s, got %s", p.peek().pos, t.text, p.peek())
+			return nil, p.errAt(p.peek().pos, "expected ) in call to %s, got %s", t.text, p.peek())
 		}
 		p.next()
 		if arity >= 0 && len(args) != arity {
-			return nil, fmt.Errorf("dml: position %d: %s expects %d argument(s), got %d", t.pos, t.text, arity, len(args))
+			return nil, p.errAt(t.pos, "%s expects %d argument(s), got %d", t.text, arity, len(args))
 		}
 		return &Call{Fn: t.text, Args: args, Pos: t.pos}, nil
 	case tokLParen:
@@ -372,11 +383,11 @@ func (p *parser) parsePrimary() (Node, error) {
 			return nil, err
 		}
 		if p.peek().kind != tokRParen {
-			return nil, fmt.Errorf("dml: position %d: expected ), got %s", p.peek().pos, p.peek())
+			return nil, p.errAt(p.peek().pos, "expected ), got %s", p.peek())
 		}
 		p.next()
 		return inner, nil
 	default:
-		return nil, fmt.Errorf("dml: position %d: unexpected %s", t.pos, t)
+		return nil, p.errAt(t.pos, "unexpected %s", t)
 	}
 }

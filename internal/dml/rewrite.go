@@ -4,134 +4,24 @@ import (
 	"math"
 )
 
-// Shape describes an expression's dimensions when statically known.
-type Shape struct {
-	Rows, Cols int
-	Scalar     bool
-	Known      bool
-}
-
-func scalarShape() Shape       { return Shape{Scalar: true, Known: true} }
-func matShape(r, c int) Shape  { return Shape{Rows: r, Cols: c, Known: true} }
-func unknownShape() Shape      { return Shape{} }
-func (s Shape) isMatrix() bool { return s.Known && !s.Scalar }
-
-// inferShape computes the static shape of n given variable shapes.
-func inferShape(n Node, vars map[string]Shape) Shape {
-	switch t := n.(type) {
-	case *NumLit:
-		return scalarShape()
-	case *Var:
-		if s, ok := vars[t.Name]; ok {
-			return s
-		}
-		return unknownShape()
-	case *Unary:
-		return inferShape(t.X, vars)
-	case *BinOp:
-		if compareOps[t.Op] {
-			return scalarShape()
-		}
-		l := inferShape(t.Left, vars)
-		r := inferShape(t.Right, vars)
-		if t.Op == "%*%" {
-			if l.isMatrix() && r.isMatrix() {
-				return matShape(l.Rows, r.Cols)
-			}
-			return unknownShape()
-		}
-		if !l.Known || !r.Known {
-			return unknownShape()
-		}
-		if l.Scalar && r.Scalar {
-			return scalarShape()
-		}
-		if l.Scalar {
-			return r
-		}
-		return l
-	case *Index:
-		base := inferShape(t.X, vars)
-		if !base.isMatrix() {
-			return unknownShape()
-		}
-		r, rok := specSpan(t.Row, base.Rows)
-		c, cok := specSpan(t.Col, base.Cols)
-		if !rok || !cok {
-			return unknownShape()
-		}
-		if r == 1 && c == 1 {
-			return scalarShape()
-		}
-		return matShape(r, c)
-	case *Call:
-		switch t.Fn {
-		case "sum", "mean", "min", "max", "trace", "nrow", "ncol", "__sumsq", "__tracemm":
-			return scalarShape()
-		case "t":
-			in := inferShape(t.Args[0], vars)
-			if in.isMatrix() {
-				return matShape(in.Cols, in.Rows)
-			}
-			return unknownShape()
-		case "rowSums":
-			in := inferShape(t.Args[0], vars)
-			if in.isMatrix() {
-				return matShape(in.Rows, 1)
-			}
-			return unknownShape()
-		case "colSums":
-			in := inferShape(t.Args[0], vars)
-			if in.isMatrix() {
-				return matShape(1, in.Cols)
-			}
-			return unknownShape()
-		case "eye":
-			if lit, ok := t.Args[0].(*NumLit); ok {
-				k := int(lit.Val)
-				if k > 0 && float64(k) == lit.Val {
-					return matShape(k, k)
-				}
-			}
-			return unknownShape()
-		case "solve":
-			a := inferShape(t.Args[0], vars)
-			if a.isMatrix() {
-				return matShape(a.Cols, 1)
-			}
-			return unknownShape()
-		case "cbind":
-			a, b := inferShape(t.Args[0], vars), inferShape(t.Args[1], vars)
-			if a.isMatrix() && b.isMatrix() && a.Rows == b.Rows {
-				return matShape(a.Rows, a.Cols+b.Cols)
-			}
-			return unknownShape()
-		case "rbind":
-			a, b := inferShape(t.Args[0], vars), inferShape(t.Args[1], vars)
-			if a.isMatrix() && b.isMatrix() && a.Cols == b.Cols {
-				return matShape(a.Rows+b.Rows, a.Cols)
-			}
-			return unknownShape()
-		default: // exp, log, sqrt, abs, sigmoid preserve shape
-			return inferShape(t.Args[0], vars)
-		}
-	}
-	return unknownShape()
-}
-
 // Optimize rewrites the program with SystemML-style algebraic rewrites:
 // constant folding, identity elimination, t(t(A)) collapse, aggregate fusion
 // (sum(A^2), sum(A*A) → fused sum-of-squares; trace(A%*%B) → fused
 // contraction), identity-matrix elimination, and cost-based matrix-chain
 // reordering driven by the shapes of the environment's variables.
+//
+// Shape information comes from the same abstract interpreter the static
+// analyzer uses (shapes.go), so anything the analyzer can infer — including
+// sizes that flow through constants, eye(n), nrow/ncol, and indexing — is
+// available to the size-aware rewrites.
 func (p *Program) Optimize(vars map[string]Shape) *Program {
-	shapes := make(map[string]Shape, len(vars))
+	env := make(absEnv, len(vars))
 	for k, v := range vars {
-		shapes[k] = v
+		env[k] = binding{shape: absFromShape(v), definite: true}
 	}
 	counter := 0
 	stmts := applyLICM(p.Stmts, &counter)
-	return &Program{Stmts: optimizeStmts(stmts, shapes)}
+	return &Program{Stmts: optimizeStmts(stmts, env), Src: p.Src}
 }
 
 // optimizeStmts rewrites a statement list, tracking variable shapes through
@@ -139,107 +29,66 @@ func (p *Program) Optimize(vars map[string]Shape) *Program {
 // bound to a scalar; variables assigned inside a branch or loop get their
 // shapes conservatively invalidated afterwards (the construct may or may not
 // execute).
-func optimizeStmts(stmts []Stmt, shapes map[string]Shape) []Stmt {
+func optimizeStmts(stmts []Stmt, env absEnv) []Stmt {
 	out := make([]Stmt, len(stmts))
 	for i, stmt := range stmts {
 		switch {
 		case stmt.For != nil:
-			inner := cloneShapes(shapes)
-			inner[stmt.For.Var] = scalarShape()
+			inner := env.clone()
+			inner[stmt.For.Var] = binding{shape: scalarAbs(), definite: true}
 			invalidateAssigned(stmt.For.Body, inner)
 			body := optimizeStmts(stmt.For.Body, inner)
 			out[i] = Stmt{For: &ForStmt{
 				Var:  stmt.For.Var,
-				From: rewriteFixpoint(stmt.For.From, shapes),
-				To:   rewriteFixpoint(stmt.For.To, shapes),
+				From: rewriteFixpoint(stmt.For.From, env),
+				To:   rewriteFixpoint(stmt.For.To, env),
 				Body: body,
-			}}
-			invalidateAssigned(stmt.For.Body, shapes)
-			shapes[stmt.For.Var] = scalarShape()
+			}, Pos: stmt.Pos}
+			invalidateAssigned(stmt.For.Body, env)
+			env[stmt.For.Var] = binding{shape: scalarAbs(), definite: true}
 		case stmt.If != nil:
-			thenShapes := cloneShapes(shapes)
-			elseShapes := cloneShapes(shapes)
+			thenEnv := env.clone()
+			elseEnv := env.clone()
 			out[i] = Stmt{If: &IfStmt{
-				Cond: rewriteFixpoint(stmt.If.Cond, shapes),
-				Then: optimizeStmts(stmt.If.Then, thenShapes),
-				Else: optimizeStmts(stmt.If.Else, elseShapes),
-			}}
-			invalidateAssigned(stmt.If.Then, shapes)
-			invalidateAssigned(stmt.If.Else, shapes)
+				Cond: rewriteFixpoint(stmt.If.Cond, env),
+				Then: optimizeStmts(stmt.If.Then, thenEnv),
+				Else: optimizeStmts(stmt.If.Else, elseEnv),
+			}, Pos: stmt.Pos}
+			invalidateAssigned(stmt.If.Then, env)
+			invalidateAssigned(stmt.If.Else, env)
 		default:
-			expr := rewriteFixpoint(stmt.Expr, shapes)
-			out[i] = Stmt{Name: stmt.Name, Expr: expr}
+			expr := rewriteFixpoint(stmt.Expr, env)
+			out[i] = Stmt{Name: stmt.Name, Expr: expr, Pos: stmt.Pos}
 			if stmt.Name != "" {
-				shapes[stmt.Name] = inferShape(expr, shapes)
+				env[stmt.Name] = binding{shape: inferAbs(expr, env, nil), definite: true}
 			}
 		}
 	}
 	return out
 }
 
-func cloneShapes(shapes map[string]Shape) map[string]Shape {
-	out := make(map[string]Shape, len(shapes))
-	for k, v := range shapes {
-		out[k] = v
-	}
-	return out
-}
-
 // invalidateAssigned clears the shapes of every variable assigned anywhere
 // in the statement list (recursively).
-func invalidateAssigned(stmts []Stmt, shapes map[string]Shape) {
+func invalidateAssigned(stmts []Stmt, env absEnv) {
 	for _, stmt := range stmts {
 		switch {
 		case stmt.For != nil:
-			invalidateAssigned(stmt.For.Body, shapes)
+			invalidateAssigned(stmt.For.Body, env)
 		case stmt.If != nil:
-			invalidateAssigned(stmt.If.Then, shapes)
-			invalidateAssigned(stmt.If.Else, shapes)
+			invalidateAssigned(stmt.If.Then, env)
+			invalidateAssigned(stmt.If.Else, env)
 		case stmt.Name != "":
-			delete(shapes, stmt.Name)
+			delete(env, stmt.Name)
 		}
 	}
-}
-
-// ShapesFromEnv derives static shapes from runtime bindings.
-func ShapesFromEnv(env Env) map[string]Shape {
-	out := make(map[string]Shape, len(env))
-	for name, v := range env {
-		if v.IsScalar {
-			out[name] = scalarShape()
-		} else {
-			r, c := v.M.Dims()
-			out[name] = matShape(r, c)
-		}
-	}
-	return out
-}
-
-// specSpan returns the static width of an index spec when derivable.
-func specSpan(spec *IndexSpec, axisSize int) (int, bool) {
-	if spec.All {
-		return axisSize, true
-	}
-	lo, ok := spec.Lo.(*NumLit)
-	if !ok {
-		return 0, false
-	}
-	if spec.Hi == nil {
-		return 1, true
-	}
-	hi, ok := spec.Hi.(*NumLit)
-	if !ok {
-		return 0, false
-	}
-	return int(hi.Val) - int(lo.Val) + 1, true
 }
 
 const maxRewritePasses = 20
 
-func rewriteFixpoint(n Node, vars map[string]Shape) Node {
+func rewriteFixpoint(n Node, env absEnv) Node {
 	for pass := 0; pass < maxRewritePasses; pass++ {
 		before := n.String()
-		n = rewriteNode(n, vars)
+		n = rewriteNode(n, env)
 		if n.String() == before {
 			break
 		}
@@ -248,12 +97,12 @@ func rewriteFixpoint(n Node, vars map[string]Shape) Node {
 }
 
 // rewriteNode applies one bottom-up rewrite pass.
-func rewriteNode(n Node, vars map[string]Shape) Node {
+func rewriteNode(n Node, env absEnv) Node {
 	switch t := n.(type) {
 	case *NumLit, *Var:
 		return n
 	case *Unary:
-		x := rewriteNode(t.X, vars)
+		x := rewriteNode(t.X, env)
 		if lit, ok := x.(*NumLit); ok {
 			return &NumLit{Val: -lit.Val, Pos: t.Pos}
 		}
@@ -262,44 +111,44 @@ func rewriteNode(n Node, vars map[string]Shape) Node {
 		}
 		return &Unary{X: x, Pos: t.Pos}
 	case *BinOp:
-		l := rewriteNode(t.Left, vars)
-		r := rewriteNode(t.Right, vars)
+		l := rewriteNode(t.Left, env)
+		r := rewriteNode(t.Right, env)
 		nn := &BinOp{Op: t.Op, Left: l, Right: r, Pos: t.Pos}
 		if folded, ok := foldConst(nn); ok {
 			return folded
 		}
-		if simplified, ok := identityElim(nn, vars); ok {
+		if simplified, ok := identityElim(nn, env); ok {
 			return simplified
 		}
 		if nn.Op == "%*%" {
-			return reorderChain(nn, vars)
+			return reorderChain(nn, env)
 		}
 		return nn
 	case *Call:
 		args := make([]Node, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = rewriteNode(a, vars)
+			args[i] = rewriteNode(a, env)
 		}
 		nn := &Call{Fn: t.Fn, Args: args, Pos: t.Pos}
-		return rewriteCall(nn, vars)
+		return rewriteCall(nn, env)
 	case *Index:
 		return &Index{
-			X:   rewriteNode(t.X, vars),
-			Row: rewriteSpec(t.Row, vars),
-			Col: rewriteSpec(t.Col, vars),
+			X:   rewriteNode(t.X, env),
+			Row: rewriteSpec(t.Row, env),
+			Col: rewriteSpec(t.Col, env),
 			Pos: t.Pos,
 		}
 	}
 	return n
 }
 
-func rewriteSpec(spec *IndexSpec, vars map[string]Shape) *IndexSpec {
+func rewriteSpec(spec *IndexSpec, env absEnv) *IndexSpec {
 	if spec.All {
 		return spec
 	}
-	out := &IndexSpec{Lo: rewriteNode(spec.Lo, vars)}
+	out := &IndexSpec{Lo: rewriteNode(spec.Lo, env)}
 	if spec.Hi != nil {
-		out.Hi = rewriteNode(spec.Hi, vars)
+		out.Hi = rewriteNode(spec.Hi, env)
 	}
 	return out
 }
@@ -334,7 +183,7 @@ func isLit(n Node, v float64) bool {
 }
 
 // identityElim removes arithmetic identities and identity-matrix products.
-func identityElim(n *BinOp, vars map[string]Shape) (Node, bool) {
+func identityElim(n *BinOp, env absEnv) (Node, bool) {
 	switch n.Op {
 	case "+":
 		if isLit(n.Left, 0) {
@@ -365,16 +214,16 @@ func identityElim(n *BinOp, vars map[string]Shape) (Node, bool) {
 	case "%*%":
 		// A %*% eye(n) → A and eye(n) %*% A → A when shapes agree.
 		if c, ok := n.Right.(*Call); ok && c.Fn == "eye" {
-			ls := inferShape(n.Left, vars)
-			es := inferShape(c, vars)
-			if ls.isMatrix() && es.isMatrix() && ls.Cols == es.Rows {
+			ls := inferAbs(n.Left, env, nil)
+			es := inferAbs(c, env, nil)
+			if ls.DimsKnown() && es.DimsKnown() && ls.Cols == es.Rows {
 				return n.Left, true
 			}
 		}
 		if c, ok := n.Left.(*Call); ok && c.Fn == "eye" {
-			rs := inferShape(n.Right, vars)
-			es := inferShape(c, vars)
-			if rs.isMatrix() && es.isMatrix() && es.Cols == rs.Rows {
+			rs := inferAbs(n.Right, env, nil)
+			es := inferAbs(c, env, nil)
+			if rs.DimsKnown() && es.DimsKnown() && es.Cols == rs.Rows {
 				return n.Right, true
 			}
 		}
@@ -382,7 +231,7 @@ func identityElim(n *BinOp, vars map[string]Shape) (Node, bool) {
 	return nil, false
 }
 
-func rewriteCall(n *Call, vars map[string]Shape) Node {
+func rewriteCall(n *Call, env absEnv) Node {
 	switch n.Fn {
 	case "t":
 		// t(t(A)) → A.
@@ -402,8 +251,8 @@ func rewriteCall(n *Call, vars map[string]Shape) Node {
 			// sum(A+B) → sum(A)+sum(B) for same-shape matrices: avoids the
 			// intermediate sum matrix.
 			if b.Op == "+" {
-				ls, rs := inferShape(b.Left, vars), inferShape(b.Right, vars)
-				if ls.isMatrix() && rs.isMatrix() {
+				ls, rs := inferAbs(b.Left, env, nil), inferAbs(b.Right, env, nil)
+				if ls.IsMatrix() && rs.IsMatrix() {
 					return &BinOp{
 						Op:   "+",
 						Left: &Call{Fn: "sum", Args: []Node{b.Left}, Pos: n.Pos},
@@ -424,22 +273,25 @@ func rewriteCall(n *Call, vars map[string]Shape) Node {
 }
 
 // reorderChain applies the classic matrix-chain-order DP to a %*% chain when
-// every factor's shape is known, minimizing intermediate flops.
-func reorderChain(n *BinOp, vars map[string]Shape) Node {
+// every factor's shape is known, minimizing intermediate flops. Factor
+// shapes come from the analyzer's abstract interpreter, so dimensions that
+// are only derivable statically (eye(n) with constant n, index spans,
+// nrow/ncol arithmetic) still enable reordering.
+func reorderChain(n *BinOp, env absEnv) Node {
 	factors := flattenChain(n)
 	if len(factors) < 3 {
 		return n
 	}
 	dims := make([]int, len(factors)+1)
 	for i, f := range factors {
-		s := inferShape(f, vars)
-		if !s.isMatrix() {
+		s := inferAbs(f, env, nil)
+		if !s.DimsKnown() {
 			return n
 		}
 		if i == 0 {
 			dims[0] = s.Rows
 		} else if dims[i] != s.Rows {
-			return n // inconsistent chain; leave for runtime error reporting
+			return n // inconsistent chain; leave for the analyzer/runtime
 		}
 		dims[i+1] = s.Cols
 	}
