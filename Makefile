@@ -2,12 +2,16 @@
 #
 #   make test           tier-1 gate: build everything, run every test
 #   make check          static analysis + race detector over the concurrent
-#                       packages (paramserver, storage, opt)
+#                       packages (pool, la, compress, paramserver, storage, opt)
+#   make bench          benchstat-compatible timings for the perf-tracked
+#                       experiments (E4, E5, E6, E10) — run before and after a
+#                       kernel change and feed both logs to benchstat
 #   make lint-examples  run the DML static analyzer over all shipped scripts
 
 GO ?= go
+BENCH_COUNT ?= 6
 
-.PHONY: test check vet race lint-examples
+.PHONY: test check vet race bench lint-examples
 
 test:
 	$(GO) build ./...
@@ -19,7 +23,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/paramserver/... ./internal/storage/... ./internal/opt/...
+	$(GO) test -race ./internal/pool/... ./internal/la/... ./internal/compress/... \
+		./internal/paramserver/... ./internal/storage/... ./internal/opt/...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense)$$' \
+		-benchmem -count=$(BENCH_COUNT) .
 
 lint-examples:
 	$(GO) run ./cmd/dmml lint -strict examples/dml_script/scripts/*.dml

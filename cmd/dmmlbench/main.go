@@ -3,23 +3,34 @@
 //
 // Usage:
 //
-//	dmmlbench              # run everything at full scale
-//	dmmlbench -quick       # 10x smaller workloads (CI-friendly)
-//	dmmlbench -exp E1,E5   # only the named experiments
+//	dmmlbench                    # run everything at full scale
+//	dmmlbench -quick             # 10x smaller workloads (CI-friendly)
+//	dmmlbench -exp E1,E5         # only the named experiments
+//	dmmlbench -snapshot out.json # also write per-experiment wall times as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dmml/internal/experiments"
 )
 
+// snapshotEntry is one experiment's wall time, written by -snapshot in a
+// stable JSON form so runs can be diffed across commits.
+type snapshotEntry struct {
+	ID string  `json:"id"`
+	Ms float64 `json:"ms"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at ~1/10 workload scale")
 	expList := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	snapshot := flag.String("snapshot", "", "write per-experiment wall times (ms) to this JSON file")
 	flag.Parse()
 
 	fns := map[string]func(bool) (experiments.Table, error){
@@ -40,28 +51,40 @@ func main() {
 		"E-ABL2": experiments.EColumnCoCoding,
 	}
 
-	if *expList == "" {
-		// Stream tables as each experiment finishes.
-		for _, id := range experiments.Order {
-			t, err := fns[id](*quick)
-			fmt.Println(t)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dmmlbench:", err)
-				os.Exit(1)
+	ids := experiments.Order
+	if *expList != "" {
+		ids = nil
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := fns[id]; !ok {
+				fmt.Fprintf(os.Stderr, "dmmlbench: unknown experiment %q\n", id)
+				os.Exit(2)
 			}
+			ids = append(ids, id)
 		}
-		return
 	}
-	for _, id := range strings.Split(*expList, ",") {
-		id = strings.TrimSpace(id)
-		fn, ok := fns[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dmmlbench: unknown experiment %q\n", id)
-			os.Exit(2)
-		}
-		t, err := fn(*quick)
+
+	var times []snapshotEntry
+	for _, id := range ids {
+		start := time.Now()
+		t, err := fns[id](*quick)
+		elapsed := time.Since(start)
 		fmt.Println(t)
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmmlbench:", err)
+			os.Exit(1)
+		}
+		times = append(times, snapshotEntry{ID: id, Ms: float64(elapsed.Microseconds()) / 1000})
+	}
+
+	if *snapshot != "" {
+		data, err := json.MarshalIndent(times, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmmlbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*snapshot, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "dmmlbench:", err)
 			os.Exit(1)
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dmml/internal/la"
+	"dmml/internal/pool"
 )
 
 // Encoding identifies a physical column encoding for forcing/tuning.
@@ -26,16 +27,23 @@ type Options struct {
 	// CoCode enables greedy pairwise column co-coding of low-cardinality
 	// columns, as in CLA's column group partitioning.
 	CoCode bool
-	// MaxDDCCard caps the dictionary size for DDC (default 65536).
+	// MaxDDCCard caps the dictionary size for DDC (default and ceiling 65536,
+	// the largest dictionary addressable by the 2-byte code array).
 	MaxDDCCard int
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxDDCCard <= 0 {
+	if o.MaxDDCCard <= 0 || o.MaxDDCCard > 1<<16 {
 		o.MaxDDCCard = 1 << 16
 	}
 	return o
 }
+
+// compressParallelMinWork is the minimum scalar-work estimate (roughly rows ×
+// groups) below which Matrix ops and the planner stay serial; pool dispatch
+// costs more than it saves on small inputs. A var so tests can force the
+// parallel path.
+var compressParallelMinWork = 1 << 18
 
 // Matrix is a compressed matrix: a set of column groups jointly covering all
 // columns. All read ops match the semantics of the equivalent la.Dense ops.
@@ -68,26 +76,92 @@ func (c *Matrix) GroupInfo() []string {
 
 // MatVec returns X·v over the compressed representation.
 func (c *Matrix) MatVec(v []float64) []float64 {
+	return c.MatVecInto(make([]float64, c.rows), v)
+}
+
+// MatVecInto computes X·v into dst (overwriting it) and returns dst. Every
+// group contributes to every row, so parallel runs hand each worker a scratch
+// partial accumulator (slot 0 accumulates straight into dst) and the partials
+// are merged at the end; the serial regime allocates nothing beyond what the
+// group kernels borrow from the scratch pool.
+func (c *Matrix) MatVecInto(dst, v []float64) []float64 {
 	if len(v) != c.cols {
 		panic(fmt.Sprintf("compress: MatVec %dx%d × len %d", c.rows, c.cols, len(v)))
 	}
-	out := make([]float64, c.rows)
-	for _, g := range c.groups {
-		g.MatVecAccum(out, v)
+	if len(dst) != c.rows {
+		panic(fmt.Sprintf("compress: MatVecInto dst len %d for %d rows", len(dst), c.rows))
 	}
-	return out
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(c.groups) < 2 || c.rows*len(c.groups) < compressParallelMinWork || pool.SerialNow() {
+		for _, g := range c.groups {
+			g.MatVecAccum(dst, v)
+		}
+		return dst
+	}
+	partials := make([][]float64, pool.Workers())
+	partials[0] = dst
+	pool.Do(len(c.groups), 1, func(slot, lo, hi int) {
+		acc := partials[slot]
+		if acc == nil {
+			acc = pool.GetF64Zeroed(c.rows)
+			partials[slot] = acc
+		}
+		for gi := lo; gi < hi; gi++ {
+			c.groups[gi].MatVecAccum(acc, v)
+		}
+	})
+	for _, p := range partials[1:] {
+		if p != nil {
+			la.Axpy(1, p, dst)
+			pool.PutF64(p)
+		}
+	}
+	return dst
 }
 
 // VecMat returns xᵀ·X over the compressed representation.
 func (c *Matrix) VecMat(x []float64) []float64 {
+	return c.VecMatInto(make([]float64, c.cols), x)
+}
+
+// VecMatInto computes xᵀ·X into dst (overwriting it) and returns dst. Column
+// groups cover disjoint columns, so parallel workers write disjoint entries
+// of dst and no partial accumulators are needed.
+func (c *Matrix) VecMatInto(dst, x []float64) []float64 {
 	if len(x) != c.rows {
 		panic(fmt.Sprintf("compress: VecMat len %d × %dx%d", len(x), c.rows, c.cols))
 	}
-	out := make([]float64, c.cols)
-	for _, g := range c.groups {
-		g.VecMatAccum(out, x)
+	if len(dst) != c.cols {
+		panic(fmt.Sprintf("compress: VecMatInto dst len %d for %d cols", len(dst), c.cols))
 	}
-	return out
+	for j := range dst {
+		dst[j] = 0
+	}
+	if len(c.groups) < 2 || c.rows*len(c.groups) < compressParallelMinWork || pool.SerialNow() {
+		for _, g := range c.groups {
+			g.VecMatAccum(dst, x)
+		}
+		return dst
+	}
+	pool.Do(len(c.groups), 1, func(_, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			c.groups[gi].VecMatAccum(dst, x)
+		}
+	})
+	return dst
+}
+
+// vecMatSerial is VecMatInto without the parallel dispatch, for callers that
+// are already running on a pool worker.
+func (c *Matrix) vecMatSerial(dst, x []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for _, g := range c.groups {
+		g.VecMatAccum(dst, x)
+	}
 }
 
 // ColSums returns per-column sums.
@@ -122,12 +196,21 @@ func (c *Matrix) Scale(s float64) {
 	}
 }
 
-// Decompress materializes the dense equivalent.
+// Decompress materializes the dense equivalent. Groups write disjoint
+// columns, so they decompress in parallel without coordination.
 func (c *Matrix) Decompress() *la.Dense {
 	m := la.NewDense(c.rows, c.cols)
-	for _, g := range c.groups {
-		g.DecompressInto(m)
+	if len(c.groups) < 2 || c.rows*len(c.groups) < compressParallelMinWork || pool.SerialNow() {
+		for _, g := range c.groups {
+			g.DecompressInto(m)
+		}
+		return m
 	}
+	pool.Do(len(c.groups), 1, func(_, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			c.groups[gi].DecompressInto(m)
+		}
+	})
 	return m
 }
 
@@ -158,31 +241,53 @@ type colStats struct {
 	isConst bool
 }
 
-func computeColStats(col []float64) colStats {
+// colCode is the provisional dictionary coding of one column, built once
+// during the stats pass: the distinct values in first-appearance order plus a
+// per-row index into them. Every encoder and the co-coding search work on
+// these codes, so the per-row hashing that dominated the old planner happens
+// exactly once per column.
+type colCode struct {
+	vals  []float64
+	codes []int32
+}
+
+// analyzeColumn computes exact column statistics and the provisional coding
+// in a single pass.
+func analyzeColumn(col []float64) (colStats, colCode) {
 	st := colStats{rows: len(col)}
-	distinct := make(map[float64]struct{})
-	prev, inRun := 0.0, false
-	for _, v := range col {
-		distinct[v] = struct{}{}
+	idx := make(map[float64]int32, 16)
+	cc := colCode{codes: make([]int32, len(col))}
+	prev := int32(-1)
+	inRun := false
+	for i, v := range col {
+		t, ok := idx[v]
+		if !ok {
+			t = int32(len(cc.vals))
+			idx[v] = t
+			cc.vals = append(cc.vals, v)
+		}
+		cc.codes[i] = t
 		if v != 0 {
 			st.nzRows++
-			if !inRun || v != prev {
+			if !inRun || t != prev {
 				st.nzRuns++
 			}
 			inRun = true
 		} else {
 			inRun = false
 		}
-		prev = v
+		prev = t
 	}
-	st.card = len(distinct)
-	if _, hasZero := distinct[0]; hasZero {
-		st.nzCard = st.card - 1
-	} else {
-		st.nzCard = st.card
+	st.card = len(cc.vals)
+	st.nzCard = st.card
+	for _, v := range cc.vals {
+		if v == 0 {
+			st.nzCard--
+			break
+		}
 	}
 	st.isConst = st.card == 1
-	return st
+	return st, cc
 }
 
 // Size estimates (bytes) per encoding, mirroring CLA's compression planning.
@@ -205,17 +310,30 @@ func (st colStats) ucSize() int { return st.rows * 8 }
 
 // Compress builds a compressed Matrix from a dense one using exact column
 // statistics and a minimum-size encoding choice per column (optionally with
-// pairwise co-coding).
+// pairwise co-coding). Column analysis and group construction both run on the
+// worker pool — columns are independent, and each group touches only its own
+// columns.
 func Compress(m *la.Dense, opts Options) *Matrix {
 	opts = opts.withDefaults()
 	rows, cols := m.Dims()
 	c := &Matrix{rows: rows, cols: cols}
+	if cols == 0 {
+		return c
+	}
 
 	columns := make([][]float64, cols)
 	stats := make([]colStats, cols)
-	for j := 0; j < cols; j++ {
-		columns[j] = m.Col(j)
-		stats[j] = computeColStats(columns[j])
+	codes := make([]colCode, cols)
+	analyze := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			columns[j] = m.Col(j)
+			stats[j], codes[j] = analyzeColumn(columns[j])
+		}
+	}
+	if rows*cols < compressParallelMinWork || pool.SerialNow() {
+		analyze(0, cols)
+	} else {
+		pool.Do(cols, 1, func(_, lo, hi int) { analyze(lo, hi) })
 	}
 
 	chosen := make([]Encoding, cols)
@@ -223,10 +341,15 @@ func Compress(m *la.Dense, opts Options) *Matrix {
 		chosen[j] = chooseEncoding(stats[j], opts)
 	}
 
+	// Plan the group partition serially (greedy co-coding is order-dependent)
+	// and build the groups in parallel.
+	type buildJob struct{ a, b int } // b < 0 for single-column groups
+	var jobs []buildJob
 	used := make([]bool, cols)
 	if opts.CoCode {
 		// Greedy pairwise co-coding of DDC columns: merge a pair when the
-		// combined DDC size beats the sum of the separate sizes.
+		// combined DDC size beats the sum of the separate sizes. Joint
+		// cardinality is counted over the precomputed codes.
 		for a := 0; a < cols; a++ {
 			if used[a] || chosen[a] != ForceDDC {
 				continue
@@ -238,7 +361,7 @@ func Compress(m *la.Dense, opts Options) *Matrix {
 					continue
 				}
 				sizeB, _ := stats[b].ddcSize(opts.MaxDDCCard)
-				jointCard := jointCardinality(columns[a], columns[b])
+				jointCard := jointCardinality(&codes[a], &codes[b])
 				if jointCard > opts.MaxDDCCard {
 					continue
 				}
@@ -252,17 +375,32 @@ func Compress(m *la.Dense, opts Options) *Matrix {
 				}
 			}
 			if bestB >= 0 {
-				c.groups = append(c.groups, buildDDC([]int{a, bestB}, [][]float64{columns[a], columns[bestB]}))
+				jobs = append(jobs, buildJob{a, bestB})
 				used[a], used[bestB] = true, true
 			}
 		}
 	}
-
 	for j := 0; j < cols; j++ {
-		if used[j] {
-			continue
+		if !used[j] {
+			jobs = append(jobs, buildJob{j, -1})
 		}
-		c.groups = append(c.groups, buildGroup(j, columns[j], chosen[j]))
+	}
+
+	c.groups = make([]Group, len(jobs))
+	build := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			jb := jobs[i]
+			if jb.b >= 0 {
+				c.groups[i] = buildDDCPair(jb.a, jb.b, &codes[jb.a], &codes[jb.b])
+			} else {
+				c.groups[i] = buildGroup(jb.a, columns[jb.a], &codes[jb.a], chosen[jb.a])
+			}
+		}
+	}
+	if rows*len(jobs) < compressParallelMinWork || pool.SerialNow() {
+		build(0, len(jobs))
+	} else {
+		pool.Do(len(jobs), 1, func(_, lo, hi int) { build(lo, hi) })
 	}
 	return c
 }
@@ -289,125 +427,178 @@ func chooseEncoding(st colStats, opts Options) Encoding {
 	return best
 }
 
-func jointCardinality(a, b []float64) int {
-	seen := make(map[[2]float64]struct{})
-	for i := range a {
-		seen[[2]float64{a[i], b[i]}] = struct{}{}
+// jointDirectLimit bounds the dense pair table used for joint-code counting;
+// above it (≤8 MB of int32) the counting falls back to a map on the packed
+// pair code, still one integer key instead of hashing two floats per row.
+const jointDirectLimit = 1 << 20
+
+func jointCardinality(ca, cb *colCode) int {
+	cardB := int32(len(cb.vals))
+	if prod := len(ca.vals) * len(cb.vals); prod <= jointDirectLimit {
+		seen := make([]bool, prod)
+		n := 0
+		for i, a := range ca.codes {
+			p := a*cardB + cb.codes[i]
+			if !seen[p] {
+				seen[p] = true
+				n++
+			}
+		}
+		return n
+	}
+	seen := make(map[int64]struct{}, 1024)
+	for i, a := range ca.codes {
+		seen[int64(a)*int64(cardB)+int64(cb.codes[i])] = struct{}{}
 	}
 	return len(seen)
 }
 
-func buildGroup(col int, data []float64, enc Encoding) Group {
+func buildGroup(col int, data []float64, cc *colCode, enc Encoding) Group {
 	switch enc {
 	case ForceDDC:
-		return buildDDC([]int{col}, [][]float64{data})
+		return buildDDC(col, cc)
 	case ForceOLE:
-		return buildOLE(col, data)
+		return buildOLE(col, cc)
 	case ForceRLE:
-		return buildRLE(col, data)
+		return buildRLE(col, cc)
 	default:
 		return &UCGroup{col: col, data: la.CloneVec(data)}
 	}
 }
 
-func buildDDC(cols []int, data [][]float64) *DDCGroup {
-	rows := len(data[0])
-	w := len(cols)
-	type key = string
-	// Dictionary keyed on the raw tuple bytes via fmt is slow; use a map on
-	// a small struct for w<=2 and fall back to index probing otherwise.
-	idx := make(map[key]int)
-	var vals []float64
-	codes := make([]uint16, rows)
-	buf := make([]byte, 0, w*8)
-	for i := 0; i < rows; i++ {
-		buf = buf[:0]
-		for j := 0; j < w; j++ {
-			buf = appendFloatKey(buf, data[j][i])
+// storeCodes writes the group's code array in 1- or 2-byte form depending on
+// dictionary size.
+func storeCodes(g *DDCGroup, codes []int32, card int) {
+	if card <= 256 {
+		g.codes8 = make([]uint8, len(codes))
+		for i, t := range codes {
+			g.codes8[i] = uint8(t)
 		}
-		k := string(buf)
-		t, ok := idx[k]
-		if !ok {
-			t = len(idx)
-			idx[k] = t
-			for j := 0; j < w; j++ {
-				vals = append(vals, data[j][i])
-			}
-		}
-		codes[i] = uint16(t)
+		return
 	}
-	g := &DDCGroup{d: dict{cols: append([]int(nil), cols...), vals: vals}, rows: rows}
-	if len(idx) <= 256 {
-		g.codes8 = make([]uint8, rows)
-		for i, c := range codes {
-			g.codes8[i] = uint8(c)
-		}
-	} else {
-		g.codes = codes
+	g.codes = make([]uint16, len(codes))
+	for i, t := range codes {
+		g.codes[i] = uint16(t)
 	}
+}
+
+func buildDDC(col int, cc *colCode) *DDCGroup {
+	g := &DDCGroup{
+		d:    dict{cols: []int{col}, vals: la.CloneVec(cc.vals)},
+		rows: len(cc.codes),
+	}
+	storeCodes(g, cc.codes, len(cc.vals))
 	return g
 }
 
-func appendFloatKey(buf []byte, v float64) []byte {
-	// Bit pattern as key; distinguishes -0 from +0 and all NaN payloads,
-	// which is acceptable for dictionary purposes.
-	u := floatBits(v)
-	return append(buf,
-		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+// buildDDCPair co-codes two columns into one DDC group. The joint dictionary
+// is discovered by remapping the packed pair code (codeA·cardB + codeB)
+// through a dense table — no per-row hashing.
+func buildDDCPair(colA, colB int, ca, cb *colCode) *DDCGroup {
+	rows := len(ca.codes)
+	cardB := int32(len(cb.vals))
+	codes := make([]int32, rows)
+	var vals []float64
+	next := int32(0)
+	if prod := len(ca.vals) * len(cb.vals); prod <= jointDirectLimit {
+		remap := make([]int32, prod)
+		for i := range remap {
+			remap[i] = -1
+		}
+		for i, a := range ca.codes {
+			b := cb.codes[i]
+			p := a*cardB + b
+			t := remap[p]
+			if t < 0 {
+				t = next
+				remap[p] = t
+				next++
+				vals = append(vals, ca.vals[a], cb.vals[b])
+			}
+			codes[i] = t
+		}
+	} else {
+		remap := make(map[int64]int32, 1024)
+		for i, a := range ca.codes {
+			b := cb.codes[i]
+			p := int64(a)*int64(cardB) + int64(b)
+			t, ok := remap[p]
+			if !ok {
+				t = next
+				remap[p] = t
+				next++
+				vals = append(vals, ca.vals[a], cb.vals[b])
+			}
+			codes[i] = t
+		}
+	}
+	g := &DDCGroup{
+		d:    dict{cols: []int{colA, colB}, vals: vals},
+		rows: rows,
+	}
+	storeCodes(g, codes, int(next))
+	return g
 }
 
-func buildOLE(col int, data []float64) *OLEGroup {
-	idx := make(map[float64]int)
-	var vals []float64
-	var offsets [][]int32
-	for i, v := range data {
+// nzRemap maps each code to its entry index in a zero-free dictionary (-1 for
+// the zero value) and returns the dictionary values.
+func nzRemap(cc *colCode) ([]int32, []float64) {
+	remap := make([]int32, len(cc.vals))
+	vals := make([]float64, 0, len(cc.vals))
+	for t, v := range cc.vals {
 		if v == 0 {
+			remap[t] = -1
 			continue
 		}
-		t, ok := idx[v]
-		if !ok {
-			t = len(idx)
-			idx[v] = t
-			vals = append(vals, v)
-			offsets = append(offsets, nil)
+		remap[t] = int32(len(vals))
+		vals = append(vals, v)
+	}
+	return remap, vals
+}
+
+func buildOLE(col int, cc *colCode) *OLEGroup {
+	remap, vals := nzRemap(cc)
+	counts := make([]int32, len(vals))
+	for _, t := range cc.codes {
+		if e := remap[t]; e >= 0 {
+			counts[e]++
 		}
-		offsets[t] = append(offsets[t], int32(i))
+	}
+	offsets := make([][]int32, len(vals))
+	for e := range offsets {
+		offsets[e] = make([]int32, 0, counts[e])
+	}
+	for i, t := range cc.codes {
+		if e := remap[t]; e >= 0 {
+			offsets[e] = append(offsets[e], int32(i))
+		}
 	}
 	return &OLEGroup{
 		d:       dict{cols: []int{col}, vals: vals},
 		offsets: offsets,
-		rows:    len(data),
+		rows:    len(cc.codes),
 	}
 }
 
-func buildRLE(col int, data []float64) *RLEGroup {
-	idx := make(map[float64]int)
-	var vals []float64
-	var runs [][]int32
+func buildRLE(col int, cc *colCode) *RLEGroup {
+	remap, vals := nzRemap(cc)
+	runs := make([][]int32, len(vals))
 	i := 0
-	for i < len(data) {
-		v := data[i]
+	for i < len(cc.codes) {
+		t := cc.codes[i]
 		j := i + 1
-		for j < len(data) && data[j] == v {
+		for j < len(cc.codes) && cc.codes[j] == t {
 			j++
 		}
-		if v != 0 {
-			t, ok := idx[v]
-			if !ok {
-				t = len(idx)
-				idx[v] = t
-				vals = append(vals, v)
-				runs = append(runs, nil)
-			}
-			runs[t] = append(runs[t], int32(i), int32(j-i))
+		if e := remap[t]; e >= 0 {
+			runs[e] = append(runs[e], int32(i), int32(j-i))
 		}
 		i = j
 	}
 	return &RLEGroup{
 		d:    dict{cols: []int{col}, vals: vals},
 		runs: runs,
-		rows: len(data),
+		rows: len(cc.codes),
 	}
 }
 
@@ -420,13 +611,34 @@ func (c *Matrix) MatMulDense(w *la.Dense) (*la.Dense, error) {
 		return nil, fmt.Errorf("compress: MatMulDense %dx%d × %dx%d", c.rows, c.cols, rows, k)
 	}
 	out := la.NewDense(c.rows, k)
+	col := pool.GetF64(c.rows)
 	for j := 0; j < k; j++ {
-		col := c.MatVec(w.Col(j))
+		c.MatVecInto(col, w.Col(j))
 		for i, v := range col {
 			out.Set(i, j, v)
 		}
 	}
+	pool.PutF64(col)
 	return out, nil
+}
+
+// colInto materializes column j into dst via the basis-vector trick: ej must
+// be an all-zero length-cols scratch vector and is restored before return.
+// Only the group covering j is consulted.
+func (c *Matrix) colInto(dst, ej []float64, j int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	ej[j] = 1
+	for _, g := range c.groups {
+		for _, gc := range g.Cols() {
+			if gc == j {
+				g.MatVecAccum(dst, ej)
+				break
+			}
+		}
+	}
+	ej[j] = 0
 }
 
 // Col materializes one column as a dense vector. Groups not covering the
@@ -435,33 +647,34 @@ func (c *Matrix) Col(j int) ([]float64, error) {
 	if j < 0 || j >= c.cols {
 		return nil, fmt.Errorf("compress: column %d out of range for %d cols", j, c.cols)
 	}
-	ej := make([]float64, c.cols)
-	ej[j] = 1
+	ej := pool.GetF64Zeroed(c.cols)
 	out := make([]float64, c.rows)
-	for _, g := range c.groups {
-		for _, gc := range g.Cols() {
-			if gc == j {
-				g.MatVecAccum(out, ej)
-				break
-			}
-		}
-	}
+	c.colInto(out, ej, j)
+	pool.PutF64(ej)
 	return out, nil
 }
 
 // Gram computes XᵀX directly over the compressed representation (CLA's
 // transpose-self matrix multiply): one column materialization plus one
 // compressed vector–matrix product per column, never decompressing the whole
-// matrix.
+// matrix. Columns are farmed out to the worker pool — each writes a disjoint
+// output row — with per-worker scratch for the basis and column vectors.
 func (c *Matrix) Gram() *la.Dense {
 	out := la.NewDense(c.cols, c.cols)
-	for j := 0; j < c.cols; j++ {
-		col, err := c.Col(j)
-		if err != nil {
-			panic(err) // unreachable: j is in range by construction
+	doCols := func(j0, j1 int) {
+		ej := pool.GetF64Zeroed(c.cols)
+		col := pool.GetF64(c.rows)
+		for j := j0; j < j1; j++ {
+			c.colInto(col, ej, j)
+			c.vecMatSerial(out.RowView(j), col)
 		}
-		row := c.VecMat(col)
-		copy(out.RowView(j), row)
+		pool.PutF64(ej)
+		pool.PutF64(col)
+	}
+	if c.rows*c.cols < compressParallelMinWork || pool.SerialNow() {
+		doCols(0, c.cols)
+	} else {
+		pool.Do(c.cols, 1, func(_, lo, hi int) { doCols(lo, hi) })
 	}
 	return out
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dmml/internal/la"
+	"dmml/internal/pool"
 )
 
 // Group is one compressed column group: a set of columns co-coded together.
@@ -58,10 +59,12 @@ func (d *dict) entry(t int) []float64 {
 	return d.vals[t*w : (t+1)*w]
 }
 
-// premul computes, per dictionary entry, Σ_j entry[j]·v[cols[j]].
+// premul computes, per dictionary entry, Σ_j entry[j]·v[cols[j]]. The result
+// is borrowed from the scratch pool; callers must release it with
+// pool.PutF64 once consumed.
 func (d *dict) premul(v []float64) []float64 {
 	w := len(d.cols)
-	out := make([]float64, d.numEntries())
+	out := pool.GetF64(d.numEntries())
 	for t := range out {
 		e := d.entry(t)
 		var s float64
@@ -110,16 +113,17 @@ func (g *DDCGroup) MatVecAccum(out, v []float64) {
 		for i, c := range g.codes8 {
 			out[i] += pre[c]
 		}
-		return
+	} else {
+		for i, c := range g.codes {
+			out[i] += pre[c]
+		}
 	}
-	for i, c := range g.codes {
-		out[i] += pre[c]
-	}
+	pool.PutF64(pre)
 }
 
 // VecMatAccum implements Group.
 func (g *DDCGroup) VecMatAccum(out, x []float64) {
-	acc := make([]float64, g.d.numEntries())
+	acc := pool.GetF64Zeroed(g.d.numEntries())
 	if g.codes8 != nil {
 		for i, c := range g.codes8 {
 			acc[c] += x[i]
@@ -130,6 +134,7 @@ func (g *DDCGroup) VecMatAccum(out, x []float64) {
 		}
 	}
 	g.scatterWeighted(out, acc)
+	pool.PutF64(acc)
 }
 
 func (g *DDCGroup) scatterWeighted(out, weightPerEntry []float64) {
@@ -239,6 +244,7 @@ func (g *OLEGroup) MatVecAccum(out, v []float64) {
 			out[i] += p
 		}
 	}
+	pool.PutF64(pre)
 }
 
 // VecMatAccum implements Group.
@@ -340,6 +346,7 @@ func (g *RLEGroup) MatVecAccum(out, v []float64) {
 			}
 		}
 	}
+	pool.PutF64(pre)
 }
 
 // VecMatAccum implements Group.

@@ -138,19 +138,23 @@ func (m *Dense) Clone() *Dense {
 // T returns the transpose as a newly allocated matrix.
 func (m *Dense) T() *Dense {
 	out := NewDense(m.cols, m.rows)
-	// Blocked transpose for cache friendliness.
+	// Blocked transpose for cache friendliness; large matrices split their
+	// row-block sweep across the worker pool (blocks write disjoint output).
 	const bs = 32
-	for ii := 0; ii < m.rows; ii += bs {
-		iMax := min(ii+bs, m.rows)
-		for jj := 0; jj < m.cols; jj += bs {
-			jMax := min(jj+bs, m.cols)
-			for i := ii; i < iMax; i++ {
-				for j := jj; j < jMax; j++ {
-					out.data[j*m.rows+i] = m.data[i*m.cols+j]
+	nBlocks := (m.rows + bs - 1) / bs
+	parallelRows(nBlocks, len(m.data), func(b0, b1 int) {
+		for ii := b0 * bs; ii < b1*bs && ii < m.rows; ii += bs {
+			iMax := min(ii+bs, m.rows)
+			for jj := 0; jj < m.cols; jj += bs {
+				jMax := min(jj+bs, m.cols)
+				for i := ii; i < iMax; i++ {
+					for j := jj; j < jMax; j++ {
+						out.data[j*m.rows+i] = m.data[i*m.cols+j]
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 

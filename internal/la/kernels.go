@@ -2,50 +2,51 @@ package la
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"dmml/internal/pool"
 )
 
 // parallelThreshold is the minimum amount of scalar work (flops) below which
-// kernels stay single-threaded; goroutine fan-out costs more than it saves
-// on small inputs.
-const parallelThreshold = 1 << 18
+// kernels stay single-threaded; dispatch overhead costs more than it saves
+// on small inputs. A var so tests can force the parallel path.
+var parallelThreshold = 1 << 18
 
-// parallelRows splits [0,rows) into contiguous chunks and runs fn on each in
-// its own goroutine, bounded by GOMAXPROCS.
+// parallelRows runs fn over row ranges of [0,rows) on the shared worker
+// pool with dynamic chunk scheduling: workers claim bounded chunks off an
+// atomic index, so skewed per-row cost (zero-heavy GEMM rows, uneven sparse
+// rows) rebalances instead of serializing on the slowest static chunk. work
+// is the total scalar-op estimate used for the serial cutoff and grain.
 func parallelRows(rows int, work int, fn func(r0, r1 int)) {
-	procs := runtime.GOMAXPROCS(0)
-	if procs <= 1 || work < parallelThreshold || rows < 2 {
+	if work < parallelThreshold || rows < 2 {
 		fn(0, rows)
 		return
 	}
-	chunks := procs
-	if chunks > rows {
-		chunks = rows
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + chunks - 1) / chunks
-	for r0 := 0; r0 < rows; r0 += chunk {
-		r1 := min(r0+chunk, rows)
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			fn(a, b)
-		}(r0, r1)
-	}
-	wg.Wait()
+	pool.Do(rows, pool.Grain(rows, work/rows), func(_, lo, hi int) { fn(lo, hi) })
 }
 
 // MatMul returns a × b. It panics if the inner dimensions disagree.
+//
+// Large, mostly-dense products go through the cache-blocked packed kernel
+// (see gemm.go); small or sparse ones stay on the ikj streaming kernel that
+// skips zero elements of a.
 func MatMul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("la: MatMul %dx%d × %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := NewDense(a.rows, b.cols)
 	work := a.rows * a.cols * b.cols
-	parallelRows(a.rows, work, func(r0, r1 int) {
-		gemmRows(a, b, out, r0, r1)
-	})
+	switch {
+	case a.rows*b.cols <= kSplitMaxOut && a.cols >= kSplitMinK && work >= parallelThreshold:
+		// Skinny product (Xᵀ·X-shaped): k-outer order reads each operand
+		// once and keeps the whole output in cache; parallel over k.
+		gemmKSplit(a, b, out)
+	case gemmUseBlocked(a, b.cols):
+		gemmBlocked(a, b, out)
+	default:
+		parallelRows(a.rows, work, func(r0, r1 int) {
+			gemmRows(a, b, out, r0, r1)
+		})
+	}
 	return out
 }
 
@@ -70,98 +71,142 @@ func gemmRows(a, b, out *Dense, r0, r1 int) {
 
 // MatVec returns m × x as a new length-rows vector.
 func MatVec(m *Dense, x []float64) []float64 {
+	return MatVecInto(make([]float64, m.rows), m, x)
+}
+
+// MatVecInto computes m × x into dst (overwriting it) and returns dst. dst
+// must have length m.Rows(). It allocates nothing in the serial regime, so
+// iterative solvers can reuse one buffer across thousands of calls.
+func MatVecInto(dst []float64, m *Dense, x []float64) []float64 {
 	if m.cols != len(x) {
 		panic(fmt.Sprintf("la: MatVec %dx%d × len %d", m.rows, m.cols, len(x)))
 	}
-	out := make([]float64, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("la: MatVecInto dst len %d for %d rows", len(dst), m.rows))
+	}
+	// Direct serial path (not via parallelRows): keeps the closure off the
+	// heap so iterative solvers see zero steady-state allocations.
+	if m.rows*m.cols < parallelThreshold || m.rows < 2 || pool.SerialNow() {
+		for i := 0; i < m.rows; i++ {
+			dst[i] = Dot(m.RowView(i), x)
+		}
+		return dst
+	}
 	parallelRows(m.rows, m.rows*m.cols, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
-			out[i] = Dot(m.RowView(i), x)
+			dst[i] = Dot(m.RowView(i), x)
 		}
 	})
-	return out
+	return dst
 }
 
 // VecMat returns xᵀ × m (equivalently mᵀ × x) as a new length-cols vector.
 func VecMat(x []float64, m *Dense) []float64 {
+	return VecMatInto(make([]float64, m.cols), x, m)
+}
+
+// VecMatInto computes xᵀ × m into dst (overwriting it) and returns dst. dst
+// must have length m.Cols(). Parallel runs use per-worker partial
+// accumulators drawn from the scratch pool and merged at the end; the serial
+// regime allocates nothing.
+func VecMatInto(dst []float64, x []float64, m *Dense) []float64 {
 	if m.rows != len(x) {
 		panic(fmt.Sprintf("la: VecMat len %d × %dx%d", len(x), m.rows, m.cols))
 	}
-	procs := runtime.GOMAXPROCS(0)
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("la: VecMatInto dst len %d for %d cols", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	work := m.rows * m.cols
-	if procs <= 1 || work < parallelThreshold {
-		out := make([]float64, m.cols)
-		for i, xi := range x {
-			if xi == 0 {
-				continue
-			}
-			Axpy(xi, m.RowView(i), out)
-		}
-		return out
+	if work < parallelThreshold || m.rows < 2 || pool.SerialNow() {
+		vecMatAccum(dst, x, m, 0, m.rows)
+		return dst
 	}
-	// Per-worker partial accumulators avoid write contention on out.
-	chunks := procs
-	if chunks > m.rows {
-		chunks = m.rows
-	}
-	partials := make([][]float64, chunks)
-	var wg sync.WaitGroup
-	chunk := (m.rows + chunks - 1) / chunks
-	idx := 0
-	for r0 := 0; r0 < m.rows; r0 += chunk {
-		r1 := min(r0+chunk, m.rows)
-		wg.Add(1)
-		go func(slot, a, b int) {
-			defer wg.Done()
-			acc := make([]float64, m.cols)
-			for i := a; i < b; i++ {
-				if xi := x[i]; xi != 0 {
-					Axpy(xi, m.RowView(i), acc)
-				}
-			}
+	partials := make([][]float64, pool.Workers())
+	partials[0] = dst
+	pool.Do(m.rows, pool.Grain(m.rows, m.cols), func(slot, lo, hi int) {
+		acc := partials[slot]
+		if acc == nil {
+			acc = pool.GetF64Zeroed(m.cols)
 			partials[slot] = acc
-		}(idx, r0, r1)
-		idx++
+		}
+		vecMatAccum(acc, x, m, lo, hi)
+	})
+	for _, p := range partials[1:] {
+		if p != nil {
+			Axpy(1, p, dst)
+			pool.PutF64(p)
+		}
 	}
-	wg.Wait()
-	out := make([]float64, m.cols)
-	for _, p := range partials[:idx] {
-		Axpy(1, p, out)
+	return dst
+}
+
+// vecMatAccum adds x[r0:r1]ᵀ × m[r0:r1] into acc. Rows are folded into the
+// accumulator two at a time: for narrow matrices the per-row Axpy loop is
+// short enough that call and loop overhead dominate, and the fused two-row
+// sweep doubles the flops retired per iteration.
+func vecMatAccum(acc, x []float64, m *Dense, r0, r1 int) {
+	i := r0
+	for ; i+1 < r1; i += 2 {
+		x0, x1 := x[i], x[i+1]
+		switch {
+		case x0 == 0 && x1 == 0:
+		case x1 == 0:
+			Axpy(x0, m.RowView(i), acc)
+		case x0 == 0:
+			Axpy(x1, m.RowView(i+1), acc)
+		default:
+			row0 := m.RowView(i)[:len(acc)]
+			row1 := m.RowView(i + 1)[:len(acc)]
+			for b := range acc {
+				acc[b] += x0*row0[b] + x1*row1[b]
+			}
+		}
 	}
-	return out
+	for ; i < r1; i++ {
+		if xi := x[i]; xi != 0 {
+			Axpy(xi, m.RowView(i), acc)
+		}
+	}
 }
 
 // Gram returns XᵀX exploiting symmetry (syrk). The result is cols×cols.
 func Gram(x *Dense) *Dense {
+	out := NewDense(x.cols, x.cols)
+	GramInto(out, x)
+	return out
+}
+
+// GramInto computes XᵀX into out (overwriting it) and returns out. out must
+// be cols×cols. Parallel runs accumulate into per-worker scratch matrices
+// merged at the end; the serial regime allocates nothing.
+func GramInto(out *Dense, x *Dense) *Dense {
 	d := x.cols
-	out := NewDense(d, d)
-	procs := runtime.GOMAXPROCS(0)
+	if out.rows != d || out.cols != d {
+		panic(fmt.Sprintf("la: GramInto %dx%d dst for %d cols", out.rows, out.cols, d))
+	}
+	out.Zero()
 	work := x.rows * d * d
-	if procs <= 1 || work < parallelThreshold {
-		gramAccum(x, out, 0, x.rows)
+	if work < parallelThreshold || x.rows < 2 || pool.SerialNow() {
+		gramAccum(x, out.data, 0, x.rows)
 	} else {
-		chunks := procs
-		if chunks > x.rows {
-			chunks = x.rows
-		}
-		accs := make([]*Dense, chunks)
-		var wg sync.WaitGroup
-		chunk := (x.rows + chunks - 1) / chunks
-		idx := 0
-		for r0 := 0; r0 < x.rows; r0 += chunk {
-			r1 := min(r0+chunk, x.rows)
-			wg.Add(1)
-			go func(slot, a, b int) {
-				defer wg.Done()
-				acc := NewDense(d, d)
-				gramAccum(x, acc, a, b)
-				accs[slot] = acc
-			}(idx, r0, r1)
-			idx++
-		}
-		wg.Wait()
-		for _, acc := range accs[:idx] {
-			out.Add(acc)
+		partials := make([][]float64, pool.Workers())
+		partials[0] = out.data
+		pool.Do(x.rows, pool.Grain(x.rows, d*d), func(slot, lo, hi int) {
+			acc := partials[slot]
+			if acc == nil {
+				acc = pool.GetF64Zeroed(d * d)
+				partials[slot] = acc
+			}
+			gramAccum(x, acc, lo, hi)
+		})
+		for _, p := range partials[1:] {
+			if p != nil {
+				Axpy(1, p, out.data)
+				pool.PutF64(p)
+			}
 		}
 	}
 	// Mirror the upper triangle into the lower triangle.
@@ -173,18 +218,111 @@ func Gram(x *Dense) *Dense {
 	return out
 }
 
-// gramAccum adds the upper triangle of X[r0:r1]ᵀ X[r0:r1] into out.
-func gramAccum(x, out *Dense, r0, r1 int) {
+// gramTile is the column-block edge for the tiled syrk accumulation: a
+// gramTile² output tile (32 KB) stays L1-resident while a panel of rows
+// streams through it.
+const gramTile = 64
+
+// gramRowPanel bounds how many rows are swept per tile pass so the row panel
+// itself stays cache-resident across the (ta,tb) tile loop.
+const gramRowPanel = 256
+
+// gramPairAccum adds two rows' contributions to one accumulator row of the
+// upper triangle, skipping zero coefficients so sparse inputs keep their
+// short-circuit (and 0·Inf stays out of the sum).
+func gramPairAccum(arow []float64, a, d int, va0, va1 float64, row0, row1 []float64) {
+	switch {
+	case va0 == 0 && va1 == 0:
+	case va1 == 0:
+		for b := a; b < d; b++ {
+			arow[b] += va0 * row0[b]
+		}
+	case va0 == 0:
+		for b := a; b < d; b++ {
+			arow[b] += va1 * row1[b]
+		}
+	default:
+		for b := a; b < d; b++ {
+			arow[b] += va0*row0[b] + va1*row1[b]
+		}
+	}
+}
+
+// gramAccum adds the upper triangle of X[r0:r1]ᵀ X[r0:r1] into the row-major
+// d×d buffer acc. Wide matrices are tiled over column blocks so the
+// accumulator tile stays in L1 instead of thrashing a d²-sized working set
+// per input row.
+func gramAccum(x *Dense, acc []float64, r0, r1 int) {
 	d := x.cols
-	for i := r0; i < r1; i++ {
-		row := x.RowView(i)
-		for a, va := range row {
-			if va == 0 {
-				continue
+	if d <= gramTile {
+		// Narrow matrices: the triangular inner loop averages only d/2
+		// iterations, so per-iteration overhead dominates. Folding four input
+		// rows into each accumulator sweep retires 8 flops per iteration of
+		// that short loop instead of 2; rows with zeros fall back to pairwise
+		// updates that keep the zero-skip (and its 0·Inf semantics).
+		i := r0
+		for ; i+3 < r1; i += 4 {
+			row0, row1 := x.RowView(i), x.RowView(i+1)
+			row2, row3 := x.RowView(i+2), x.RowView(i+3)
+			for a := 0; a < d; a++ {
+				va0, va1, va2, va3 := row0[a], row1[a], row2[a], row3[a]
+				if va0 == 0 && va1 == 0 && va2 == 0 && va3 == 0 {
+					continue
+				}
+				arow := acc[a*d : (a+1)*d]
+				if va0 != 0 && va1 != 0 && va2 != 0 && va3 != 0 {
+					for b := a; b < d; b++ {
+						arow[b] += va0*row0[b] + va1*row1[b] + va2*row2[b] + va3*row3[b]
+					}
+					continue
+				}
+				gramPairAccum(arow, a, d, va0, va1, row0, row1)
+				gramPairAccum(arow, a, d, va2, va3, row2, row3)
 			}
-			orow := out.data[a*d : (a+1)*d]
-			for b := a; b < d; b++ {
-				orow[b] += va * row[b]
+		}
+		for ; i+1 < r1; i += 2 {
+			row0, row1 := x.RowView(i), x.RowView(i+1)
+			for a := 0; a < d; a++ {
+				gramPairAccum(acc[a*d:(a+1)*d], a, d, row0[a], row1[a], row0, row1)
+			}
+		}
+		for ; i < r1; i++ {
+			row := x.RowView(i)
+			for a, va := range row {
+				if va == 0 {
+					continue
+				}
+				arow := acc[a*d : (a+1)*d]
+				for b := a; b < d; b++ {
+					arow[b] += va * row[b]
+				}
+			}
+		}
+		return
+	}
+	for i0 := r0; i0 < r1; i0 += gramRowPanel {
+		i1 := min(i0+gramRowPanel, r1)
+		for ta := 0; ta < d; ta += gramTile {
+			taMax := min(ta+gramTile, d)
+			for tb := ta; tb < d; tb += gramTile {
+				tbMax := min(tb+gramTile, d)
+				for i := i0; i < i1; i++ {
+					row := x.RowView(i)
+					for a := ta; a < taMax; a++ {
+						va := row[a]
+						if va == 0 {
+							continue
+						}
+						arow := acc[a*d : (a+1)*d]
+						b0 := tb
+						if a > b0 {
+							b0 = a
+						}
+						for b := b0; b < tbMax; b++ {
+							arow[b] += va * row[b]
+						}
+					}
+				}
 			}
 		}
 	}

@@ -161,37 +161,57 @@ func (s *CSR) RowNNZ(i int) (cols []int, vals []float64) {
 
 // MatVec returns s × x.
 func (s *CSR) MatVec(x []float64) []float64 {
+	return s.MatVecInto(make([]float64, s.rows), x)
+}
+
+// MatVecInto computes s × x into dst (overwriting it) and returns dst. Rows
+// are scheduled dynamically on the worker pool: sparse row skew (a few dense
+// rows among many near-empty ones) rebalances instead of serializing on the
+// chunk that drew the dense rows.
+func (s *CSR) MatVecInto(dst, x []float64) []float64 {
 	if s.cols != len(x) {
 		panic(fmt.Sprintf("la: CSR MatVec %dx%d × len %d", s.rows, s.cols, len(x)))
 	}
-	out := make([]float64, s.rows)
+	if len(dst) != s.rows {
+		panic(fmt.Sprintf("la: CSR MatVecInto dst len %d for %d rows", len(dst), s.rows))
+	}
 	parallelRows(s.rows, len(s.vals), func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			var acc float64
 			for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
 				acc += s.vals[p] * x[s.colIdx[p]]
 			}
-			out[i] = acc
+			dst[i] = acc
 		}
 	})
-	return out
+	return dst
 }
 
 // VecMat returns xᵀ × s (length cols).
 func (s *CSR) VecMat(x []float64) []float64 {
+	return s.VecMatInto(make([]float64, s.cols), x)
+}
+
+// VecMatInto computes xᵀ × s into dst (overwriting it) and returns dst.
+func (s *CSR) VecMatInto(dst, x []float64) []float64 {
 	if s.rows != len(x) {
 		panic(fmt.Sprintf("la: CSR VecMat len %d × %dx%d", len(x), s.rows, s.cols))
 	}
-	out := make([]float64, s.cols)
+	if len(dst) != s.cols {
+		panic(fmt.Sprintf("la: CSR VecMatInto dst len %d for %d cols", len(dst), s.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
 		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
-			out[s.colIdx[p]] += xi * s.vals[p]
+			dst[s.colIdx[p]] += xi * s.vals[p]
 		}
 	}
-	return out
+	return dst
 }
 
 // MatMulDense returns s × b for dense b.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dmml/internal/la"
+	"dmml/internal/pool"
 )
 
 // BulkData abstracts the bulk linear-algebra access pattern needed by batch
@@ -14,6 +15,18 @@ type BulkData interface {
 	Cols() int
 	MatVec(v []float64) []float64
 	VecMat(x []float64) []float64
+}
+
+// BulkDataInto is optionally implemented by BulkData sources that can compute
+// into caller-provided buffers. Iterative solvers probe for it so their inner
+// loops reuse one set of buffers across iterations instead of allocating
+// margin and gradient vectors on every pass.
+type BulkDataInto interface {
+	BulkData
+	// MatVecInto computes X·v into dst (length Rows) and returns dst.
+	MatVecInto(dst, v []float64) []float64
+	// VecMatInto computes xᵀ·X into dst (length Cols) and returns dst.
+	VecMatInto(dst, x []float64) []float64
 }
 
 // DenseData adapts *la.Dense to BulkData.
@@ -31,6 +44,12 @@ func (d DenseData) MatVec(v []float64) []float64 { return la.MatVec(d.M, v) }
 // VecMat implements BulkData.
 func (d DenseData) VecMat(x []float64) []float64 { return la.VecMat(x, d.M) }
 
+// MatVecInto implements BulkDataInto.
+func (d DenseData) MatVecInto(dst, v []float64) []float64 { return la.MatVecInto(dst, d.M, v) }
+
+// VecMatInto implements BulkDataInto.
+func (d DenseData) VecMatInto(dst, x []float64) []float64 { return la.VecMatInto(dst, x, d.M) }
+
 // CSRData adapts *la.CSR to BulkData.
 type CSRData struct{ M *la.CSR }
 
@@ -46,27 +65,59 @@ func (d CSRData) MatVec(v []float64) []float64 { return d.M.MatVec(v) }
 // VecMat implements BulkData.
 func (d CSRData) VecMat(x []float64) []float64 { return d.M.VecMat(x) }
 
+// MatVecInto implements BulkDataInto.
+func (d CSRData) MatVecInto(dst, v []float64) []float64 { return d.M.MatVecInto(dst, v) }
+
+// VecMatInto implements BulkDataInto.
+func (d CSRData) VecMatInto(dst, x []float64) []float64 { return d.M.VecMatInto(dst, x) }
+
+var (
+	_ BulkDataInto = DenseData{}
+	_ BulkDataInto = CSRData{}
+)
+
 // LossAndGradient computes the mean loss and its gradient at w, including an
 // L2 penalty of λ/2·‖w‖² (bias-inclusive; exclude the bias by passing λ=0
 // and regularizing externally if needed).
 func LossAndGradient(data BulkData, y, w []float64, loss Loss, l2 float64) (float64, []float64) {
+	grad := make([]float64, data.Cols())
+	margins := pool.GetF64(data.Rows())
+	derivs := pool.GetF64(data.Rows())
+	v := lossAndGradientInto(data, y, w, loss, l2, margins, derivs, grad)
+	pool.PutF64(margins)
+	pool.PutF64(derivs)
+	return v, grad
+}
+
+// lossAndGradientInto is LossAndGradient with caller-owned buffers: margins
+// and derivs have length Rows, grad length Cols. When data implements
+// BulkDataInto the whole evaluation is allocation-free.
+func lossAndGradientInto(data BulkData, y, w []float64, loss Loss, l2 float64, margins, derivs, grad []float64) float64 {
 	n := data.Rows()
 	if len(y) != n {
 		panic(fmt.Sprintf("opt: %d labels for %d rows", len(y), n))
 	}
-	margins := data.MatVec(w)
-	derivs := make([]float64, n)
+	di, hasInto := data.(BulkDataInto)
+	if hasInto {
+		di.MatVecInto(margins, w)
+	} else {
+		copy(margins, data.MatVec(w))
+	}
 	total := 0.0
 	for i, m := range margins {
 		total += loss.Value(m, y[i])
 		derivs[i] = loss.Deriv(m, y[i])
 	}
-	grad := data.VecMat(derivs)
+	if hasInto {
+		di.VecMatInto(grad, derivs)
+	} else {
+		copy(grad, data.VecMat(derivs))
+	}
 	invN := 1 / float64(n)
 	for j := range grad {
 		grad[j] = grad[j]*invN + l2*w[j]
 	}
-	return total*invN + 0.5*l2*la.Dot(w, w), grad
+	return total*invN + 0.5*l2*la.Dot(w, w)
 }
 
 // GDConfig configures full-batch gradient descent.
@@ -100,24 +151,38 @@ func GradientDescent(data BulkData, y []float64, loss Loss, cfg GDConfig) (*GDRe
 		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), data.Rows())
 	}
 	d := data.Cols()
-	w := make([]float64, d)
+	n := data.Rows()
+	// Iteration state lives in scratch buffers reused across the whole run:
+	// with a BulkDataInto source the loop allocates nothing after warm-up.
+	w := pool.GetF64Zeroed(d)
+	cand := pool.GetF64(d)
+	grad := pool.GetF64(d)
+	candGrad := pool.GetF64(d)
+	margins := pool.GetF64(n)
+	derivs := pool.GetF64(n)
+	defer func() {
+		for _, buf := range [][]float64{w, cand, grad, candGrad, margins, derivs} {
+			pool.PutF64(buf)
+		}
+	}()
 	res := &GDResult{}
 	step := cfg.Step
-	prev, grad := LossAndGradient(data, y, w, loss, cfg.L2)
+	prev := lossAndGradientInto(data, y, w, loss, cfg.L2, margins, derivs, grad)
 	for it := 0; it < cfg.MaxIter; it++ {
 		res.History = append(res.History, prev)
-		cand := la.CloneVec(w)
+		copy(cand, w)
 		la.Axpy(-step, grad, cand)
-		cur, curGrad := LossAndGradient(data, y, cand, loss, cfg.L2)
+		cur := lossAndGradientInto(data, y, cand, loss, cfg.L2, margins, derivs, candGrad)
 		if cfg.Backtracking {
 			for cur > prev && step > 1e-12 {
 				step /= 2
-				cand = la.CloneVec(w)
+				copy(cand, w)
 				la.Axpy(-step, grad, cand)
-				cur, curGrad = LossAndGradient(data, y, cand, loss, cfg.L2)
+				cur = lossAndGradientInto(data, y, cand, loss, cfg.L2, margins, derivs, candGrad)
 			}
 		}
-		w, grad = cand, curGrad
+		w, cand = cand, w
+		grad, candGrad = candGrad, grad
 		res.Iters = it + 1
 		if cfg.Tol > 0 && abs(prev-cur) < cfg.Tol {
 			prev = cur
@@ -126,7 +191,7 @@ func GradientDescent(data BulkData, y []float64, loss Loss, cfg GDConfig) (*GDRe
 		prev = cur
 	}
 	res.History = append(res.History, prev)
-	res.W = w
+	res.W = la.CloneVec(w)
 	return res, nil
 }
 

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 
 	"dmml/internal/la"
+	"dmml/internal/pool"
 )
 
 // RowData abstracts per-example access for stochastic methods.
@@ -129,13 +129,28 @@ type SGDResult struct {
 	EpochLoss []float64 // mean loss after each epoch
 }
 
-// MeanLoss computes the unregularized mean loss of w over the data.
+// MeanLoss computes the unregularized mean loss of w over the data. Large
+// inputs are evaluated in parallel on the worker pool with per-slot partial
+// sums.
 func MeanLoss(data RowData, y []float64, w []float64, loss Loss) float64 {
 	n := data.Rows()
-	total := 0.0
-	for i := 0; i < n; i++ {
-		total += loss.Value(la.Dot(w, data.Row(i)), y[i])
+	if n*data.Cols() < 1<<18 || pool.SerialNow() {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += loss.Value(la.Dot(w, data.Row(i)), y[i])
+		}
+		return total / float64(n)
 	}
+	sums := pool.GetF64Zeroed(pool.Workers())
+	pool.Do(n, pool.Grain(n, data.Cols()), func(slot, lo, hi int) {
+		var t float64
+		for i := lo; i < hi; i++ {
+			t += loss.Value(la.Dot(w, data.Row(i)), y[i])
+		}
+		sums[slot] += t
+	})
+	total := la.SumVec(sums)
+	pool.PutF64(sums)
 	return total / float64(n)
 }
 
@@ -214,32 +229,58 @@ func partition(n, workers int) [][2]int {
 	return parts
 }
 
+// partitionState is the per-partition scaffolding shared by both parallel
+// strategies, allocated once and reused across epochs: visiting order within
+// the partition and a partition-seeded RNG to reshuffle it each epoch.
+type partitionState struct {
+	order []int
+	rng   *rand.Rand
+}
+
+func newPartitionStates(parts [][2]int, seed int64) []partitionState {
+	sts := make([]partitionState, len(parts))
+	for pi, p := range parts {
+		sts[pi].rng = rand.New(rand.NewSource(seed + int64(pi)))
+		sts[pi].order = make([]int, p[1]-p[0])
+		for k := range sts[pi].order {
+			sts[pi].order[k] = p[0] + k
+		}
+	}
+	return sts
+}
+
+func (st *partitionState) reshuffle() {
+	o := st.order
+	st.rng.Shuffle(len(o), func(a, b int) { o[a], o[b] = o[b], o[a] })
+}
+
 func modelAverageSGD(data RowData, y []float64, loss Loss, cfg SGDConfig, workers int) (*SGDResult, error) {
 	n, d := data.Rows(), data.Cols()
 	parts := partition(n, workers)
 	w := make([]float64, d)
 	res := &SGDResult{}
+	// Per-partition aggregates are allocated once and reused across epochs;
+	// partitions are scheduled on the shared worker pool.
+	aggs := make([]*SGDAggregate, len(parts))
+	for pi := range aggs {
+		aggs[pi] = &SGDAggregate{Loss: loss, L2: cfg.L2}
+		aggs[pi].Initialize(d)
+	}
+	states := newPartitionStates(parts, cfg.Seed)
 	for e := 0; e < cfg.Epochs; e++ {
 		step := cfg.Step / (1 + cfg.Decay*float64(e))
-		aggs := make([]*SGDAggregate, len(parts))
-		var wg sync.WaitGroup
-		for pi, p := range parts {
-			wg.Add(1)
-			go func(slot int, lo, hi int) {
-				defer wg.Done()
-				agg := &SGDAggregate{Loss: loss, L2: cfg.L2, Step: step}
-				agg.Initialize(d)
+		pool.Do(len(parts), 1, func(_, lo, hi int) {
+			for pi := lo; pi < hi; pi++ {
+				agg := aggs[pi]
+				agg.Step = step
+				agg.seen, agg.other = 0, 0
 				copy(agg.W, w) // warm start from the merged model
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(slot) + int64(101*e)))
-				span := hi - lo
-				for _, k := range rng.Perm(span) {
-					i := lo + k
+				states[pi].reshuffle()
+				for _, i := range states[pi].order {
 					agg.Transition(data.Row(i), y[i])
 				}
-				aggs[slot] = agg
-			}(pi, p[0], p[1])
-		}
-		wg.Wait()
+			}
+		})
 		merged := aggs[0]
 		for _, a := range aggs[1:] {
 			if err := merged.Merge(a); err != nil {
@@ -272,19 +313,21 @@ func sharedAtomicSGD(data RowData, y []float64, loss Loss, cfg SGDConfig, worker
 	}
 	parts := partition(n, workers)
 	res := &SGDResult{}
+	// Per-partition model snapshots are allocated once and reused across
+	// epochs; partitions run concurrently on the shared worker pool.
+	bufs := make([][]float64, len(parts))
+	for pi := range bufs {
+		bufs[pi] = make([]float64, d)
+	}
+	states := newPartitionStates(parts, cfg.Seed)
 	wLocal := make([]float64, d)
 	for e := 0; e < cfg.Epochs; e++ {
 		step := cfg.Step / (1 + cfg.Decay*float64(e))
-		var wg sync.WaitGroup
-		for pi, p := range parts {
-			wg.Add(1)
-			go func(slot, lo, hi int) {
-				defer wg.Done()
-				buf := make([]float64, d)
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(slot) + int64(977*e)))
-				span := hi - lo
-				for _, k := range rng.Perm(span) {
-					i := lo + k
+		pool.Do(len(parts), 1, func(_, lo, hi int) {
+			for pi := lo; pi < hi; pi++ {
+				buf := bufs[pi]
+				states[pi].reshuffle()
+				for _, i := range states[pi].order {
 					x := data.Row(i)
 					load(buf)
 					m := la.Dot(buf, x)
@@ -296,9 +339,8 @@ func sharedAtomicSGD(data RowData, y []float64, loss Loss, cfg SGDConfig, worker
 						}
 					}
 				}
-			}(pi, p[0], p[1])
-		}
-		wg.Wait()
+			}
+		})
 		load(wLocal)
 		res.EpochLoss = append(res.EpochLoss, MeanLoss(data, y, wLocal, loss))
 	}

@@ -1,0 +1,249 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoversRange: every index in [0,n) is visited exactly once, for a
+// spread of n/grain combinations including n <= grain (serial fallback) and
+// grain = 1 (maximal chunking).
+func TestDoCoversRange(t *testing.T) {
+	for _, tc := range []struct{ n, grain int }{
+		{1, 1}, {7, 1}, {7, 3}, {7, 100}, {100, 7}, {1024, 64}, {1000, 1},
+	} {
+		visits := make([]atomic.Int32, tc.n)
+		Do(tc.n, tc.grain, func(_, lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("Do(%d,%d): bad chunk [%d,%d)", tc.n, tc.grain, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				visits[i].Add(1)
+			}
+		})
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("Do(%d,%d): index %d visited %d times", tc.n, tc.grain, i, got)
+			}
+		}
+	}
+}
+
+// TestDoZeroAndNegative: degenerate ranges never invoke fn.
+func TestDoZeroAndNegative(t *testing.T) {
+	called := false
+	Do(0, 4, func(_, _, _ int) { called = true })
+	Do(-3, 4, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+// withProcs runs f with GOMAXPROCS raised to n so the parallel path is
+// exercised even on single-core machines (per-call parallelism follows the
+// current GOMAXPROCS, not the value at pool start).
+func withProcs(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// TestDoSlotsExclusive: no two goroutines concurrently share a slot, and all
+// slots are below Workers().
+func TestDoSlotsExclusive(t *testing.T) {
+	withProcs(t, 4, func() { testDoSlotsExclusive(t) })
+}
+
+func testDoSlotsExclusive(t *testing.T) {
+	w := Workers()
+	inUse := make([]atomic.Int32, w)
+	Do(10_000, 1, func(slot, lo, hi int) {
+		if slot < 0 || slot >= w {
+			t.Errorf("slot %d out of range [0,%d)", slot, w)
+			return
+		}
+		if !inUse[slot].CompareAndSwap(0, 1) {
+			t.Errorf("slot %d used concurrently", slot)
+			return
+		}
+		defer inUse[slot].Store(0)
+		// A little work so chunks overlap in time when parallel.
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		_ = s
+	})
+}
+
+// TestEvenDistribution is the regression test for the static-chunk imbalance:
+// with rows barely exceeding the worker count, static chunking used to make
+// ceil(rows/procs)-sized chunks, leaving the last chunk near-empty while
+// others were double-sized. Dynamic scheduling must never hand out a chunk
+// larger than grain, so work splits evenly no matter how rows relates to the
+// worker count.
+func TestEvenDistribution(t *testing.T) {
+	withProcs(t, 4, func() { testEvenDistribution(t) })
+}
+
+func testEvenDistribution(t *testing.T) {
+	for _, n := range []int{Workers() + 1, 2*Workers() - 1, 5, 17} {
+		var mu sync.Mutex
+		sizes := []int{}
+		Do(n, 1, func(_, lo, hi int) {
+			mu.Lock()
+			sizes = append(sizes, hi-lo)
+			mu.Unlock()
+		})
+		if len(sizes) != n {
+			t.Fatalf("n=%d grain=1: got %d chunks, want %d", n, len(sizes), n)
+		}
+		for _, s := range sizes {
+			if s != 1 {
+				t.Fatalf("n=%d grain=1: chunk of size %d, want every chunk == grain", n, s)
+			}
+		}
+	}
+	// With a coarser grain, every chunk is still bounded by grain and the
+	// spread between the largest and smallest chunk is at most grain — the
+	// old static scheme could differ by a whole chunk multiple.
+	const n, grain = 103, 10
+	var mu sync.Mutex
+	total, maxSz := 0, 0
+	Do(n, grain, func(_, lo, hi int) {
+		mu.Lock()
+		total += hi - lo
+		if hi-lo > maxSz {
+			maxSz = hi - lo
+		}
+		mu.Unlock()
+	})
+	if total != n {
+		t.Fatalf("chunks cover %d of %d items", total, n)
+	}
+	if maxSz > grain {
+		t.Fatalf("chunk size %d exceeds grain %d", maxSz, grain)
+	}
+}
+
+// TestNestedDo: Do from inside Do must not deadlock and must still cover the
+// inner range (the inner call runs inline when no helpers are idle).
+func TestNestedDo(t *testing.T) {
+	withProcs(t, 4, func() { testNestedDo(t) })
+}
+
+func testNestedDo(t *testing.T) {
+	var outer, inner atomic.Int64
+	Do(64, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outer.Add(1)
+			Do(32, 4, func(_, l, h int) {
+				inner.Add(int64(h - l))
+			})
+		}
+	})
+	if outer.Load() != 64 || inner.Load() != 64*32 {
+		t.Fatalf("outer=%d inner=%d, want 64 and %d", outer.Load(), inner.Load(), 64*32)
+	}
+}
+
+// TestDoReuseIsClean: back-to-back jobs (job structs are recycled) never leak
+// state between runs.
+func TestDoReuseIsClean(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		var sum atomic.Int64
+		n := 1 + iter%17
+		Do(n, 2, func(_, lo, hi int) {
+			sum.Add(int64(hi - lo))
+		})
+		if got := sum.Load(); got != int64(n) {
+			t.Fatalf("iter %d: covered %d of %d", iter, got, n)
+		}
+	}
+}
+
+func TestGrain(t *testing.T) {
+	if g := Grain(0, 100); g != 1 {
+		t.Errorf("Grain(0,100)=%d, want 1", g)
+	}
+	for _, tc := range []struct{ n, itemWork int }{
+		{10, 1}, {1000, 1}, {1000, 1 << 20}, {1 << 20, 8}, {3, 1 << 30},
+	} {
+		g := Grain(tc.n, tc.itemWork)
+		if g < 1 || g > tc.n {
+			t.Errorf("Grain(%d,%d)=%d out of [1,%d]", tc.n, tc.itemWork, g, tc.n)
+		}
+	}
+	// Heavy items must split into at least a few chunks per worker so
+	// dynamic scheduling has room to rebalance.
+	if g, lim := Grain(100, 1<<20), (100+Workers()-1)/Workers(); g > lim {
+		t.Errorf("Grain(100, 1<<20)=%d, want <= %d (at least one chunk per worker)", g, lim)
+	}
+}
+
+func TestScratchBasics(t *testing.T) {
+	if buf := GetF64(0); buf != nil {
+		t.Errorf("GetF64(0) = %v, want nil", buf)
+	}
+	buf := GetF64(100)
+	if len(buf) != 100 {
+		t.Fatalf("GetF64(100) len %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = 7
+	}
+	PutF64(buf)
+	z := GetF64Zeroed(100)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetF64Zeroed: z[%d]=%v", i, v)
+		}
+	}
+	PutF64(z)
+	// Oversized requests bypass the pool but still work.
+	big := GetF64(1<<scratchMaxBits + 1)
+	if len(big) != 1<<scratchMaxBits+1 {
+		t.Fatalf("oversized GetF64 len %d", len(big))
+	}
+	PutF64(big) // dropped, must not panic
+	// Foreign buffers with non-class capacities are silently dropped.
+	PutF64(make([]float64, 100))
+}
+
+// TestScratchSteadyStateAllocs: after warm-up, a Get/Put cycle performs no
+// allocations — the property the opt/la hot loops rely on.
+func TestScratchSteadyStateAllocs(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		PutF64(GetF64(4096)) // warm the class freelist
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b := GetF64(4096)
+		PutF64(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestDoParallelAtHigherGOMAXPROCS exercises the multi-worker path even on a
+// single-core machine by raising GOMAXPROCS; note the pool's worker count is
+// fixed at first use, so this only widens the schedulable set.
+func TestDoParallelAtHigherGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	visits := make([]atomic.Int32, 50_000)
+	Do(len(visits), 128, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visits[i].Add(1)
+		}
+	})
+	for i := range visits {
+		if visits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, visits[i].Load())
+		}
+	}
+}
