@@ -4,8 +4,9 @@
 #   make check          static analysis + race detector over the concurrent
 #                       packages (pool, la, compress, paramserver, storage, opt)
 #   make bench          benchstat-compatible timings for the perf-tracked
-#                       experiments (E4, E5, E6, E10) — run before and after a
-#                       kernel change and feed both logs to benchstat
+#                       experiments (E4, E5, E6, E10, and the E14 fault-
+#                       injection scenario) — run before and after a kernel
+#                       change and feed both logs to benchstat
 #   make lint-examples  run the DML static analyzer over all shipped scripts
 
 GO ?= go
@@ -27,7 +28,7 @@ race:
 		./internal/paramserver/... ./internal/storage/... ./internal/opt/...
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense)$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance)$$' \
 		-benchmem -count=$(BENCH_COUNT) .
 
 lint-examples:

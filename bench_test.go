@@ -82,6 +82,10 @@ func BenchmarkE13PlannerChoice(b *testing.B) {
 	benchExperiment(b, experiments.E13PlannerChoice)
 }
 
+func BenchmarkE14FaultTolerance(b *testing.B) {
+	benchExperiment(b, experiments.E14FaultTolerance)
+}
+
 func BenchmarkAblationKMeansPruning(b *testing.B) {
 	benchExperiment(b, experiments.EKMeansPruning)
 }

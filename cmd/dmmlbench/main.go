@@ -47,6 +47,7 @@ func main() {
 		"E11":    experiments.E11BufferPool,
 		"E12":    experiments.E12ReuseAcrossCV,
 		"E13":    experiments.E13PlannerChoice,
+		"E14":    experiments.E14FaultTolerance,
 		"E-ABL1": experiments.EKMeansPruning,
 		"E-ABL2": experiments.EColumnCoCoding,
 	}

@@ -341,9 +341,69 @@ func E12ReuseAcrossCV(quick bool) (Table, error) {
 	return t, nil
 }
 
+// E14FaultTolerance reproduces the fault-tolerance shape real parameter
+// servers are built around: with per-RPC request loss, latency jitter, and a
+// deterministic worker kill injected, every coordination mode still completes
+// — transient failures are absorbed by bounded retry/backoff, the killed
+// worker is restarted from the shared clock, and periodic checkpoints bound
+// the work lost to a fatal crash — at a final loss matching the fault-free
+// run.
+func E14FaultTolerance(quick bool) (Table, error) {
+	t := Table{
+		ID:     "E14",
+		Title:  "parameter server under injected faults: retry, restart, checkpoint",
+		Header: []string{"mode", "faults", "time", "retries", "timeouts", "recoveries", "final_loss"},
+	}
+	n := scale(quick, 20000)
+	r := rand.New(rand.NewSource(15000))
+	x, y, _ := workload.Classification(r, n, 16, 0.02)
+	jitter := 20 * time.Microsecond
+	if quick {
+		jitter = 5 * time.Microsecond
+	}
+	for _, mode := range []paramserver.Mode{paramserver.BSP, paramserver.SSP, paramserver.Async} {
+		for _, faulty := range []bool{false, true} {
+			ps, err := paramserver.NewServer(16, 4, 0)
+			if err != nil {
+				return t, err
+			}
+			cfg := paramserver.TrainConfig{
+				Workers: 4, Epochs: 4, BatchSize: 64,
+				Step: 0.5, Decay: 0.5, Mode: mode, Staleness: 3, Seed: 15,
+			}
+			if faulty {
+				cfg.Faults = &paramserver.FaultConfig{
+					FailProb:   0.05,
+					Jitter:     jitter,
+					KillAtTick: map[int]int{1: 8},
+					Seed:       15,
+				}
+				cfg.MaxWorkerRestarts = 2
+				cfg.Checkpoint = paramserver.CheckpointConfig{Path: ckptPath(), Every: 64}
+			}
+			start := time.Now()
+			res, err := paramserver.Train(ps, opt.DenseRows{M: x}, y, opt.Logistic{}, cfg)
+			if err != nil {
+				return t, err
+			}
+			label := "off"
+			if faulty {
+				label = "on"
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.String(), label, d(time.Since(start)),
+				fmt.Sprint(res.Retries), fmt.Sprint(res.Timeouts), fmt.Sprint(res.Recoveries),
+				f(res.FinalLoss),
+			})
+		}
+	}
+	t.Notes = "5% request loss + one worker kill: retries absorb the losses, the restarted worker rejoins at the clock, final loss matches the fault-free run"
+	return t, nil
+}
+
 // Order lists experiment ids in EXPERIMENTS.md order.
 var Order = []string{
-	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E-ABL1", "E-ABL2",
+	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E-ABL1", "E-ABL2",
 }
 
 // All runs every experiment, returning tables in EXPERIMENTS.md order.
@@ -362,6 +422,7 @@ func All(quick bool) ([]Table, error) {
 		E11BufferPool,
 		E12ReuseAcrossCV,
 		E13PlannerChoice,
+		E14FaultTolerance,
 		EKMeansPruning,
 		EColumnCoCoding,
 	}

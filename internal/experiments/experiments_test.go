@@ -14,7 +14,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
+	if len(tables) != 16 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	seen := map[string]bool{}
@@ -227,5 +227,38 @@ func TestAblationCoCodingShapes(t *testing.T) {
 	}
 	if cellFloat(t, tbl, 1, "result_delta") > 1e-9 {
 		t.Fatal("co-coding changed results")
+	}
+}
+
+// Shape check: E14's faulted runs must actually exercise the recovery
+// machinery (retries > 0, exactly the injected kill recovered) and still
+// land within 5% of the fault-free final loss, for every coordination mode.
+func TestE14FaultToleranceShapes(t *testing.T) {
+	tbl, err := E14FaultTolerance(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 modes × faults off/on)", len(tbl.Rows))
+	}
+	for r := 0; r < len(tbl.Rows); r += 2 {
+		mode := cell(tbl, r, "mode")
+		if cell(tbl, r, "faults") != "off" || cell(tbl, r+1, "faults") != "on" {
+			t.Fatalf("row pair %d not (off, on): %v", r, tbl.Rows)
+		}
+		if cellFloat(t, tbl, r, "retries") != 0 || cellFloat(t, tbl, r, "recoveries") != 0 {
+			t.Fatalf("%s: fault-free run recorded fault activity", mode)
+		}
+		if cellFloat(t, tbl, r+1, "retries") == 0 {
+			t.Fatalf("%s: no retries under 5%% request loss", mode)
+		}
+		if cellFloat(t, tbl, r+1, "recoveries") < 1 {
+			t.Fatalf("%s: injected kill was not recovered", mode)
+		}
+		clean := cellFloat(t, tbl, r, "final_loss")
+		faulty := cellFloat(t, tbl, r+1, "final_loss")
+		if math.Abs(faulty-clean) > 0.05*clean {
+			t.Fatalf("%s: faulty loss %v vs fault-free %v (beyond 5%%)", mode, faulty, clean)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"os"
+	"path/filepath"
 
 	"dmml/internal/compress"
 	"dmml/internal/la"
@@ -15,6 +16,11 @@ func tmpDir() string {
 		return os.TempDir()
 	}
 	return dir
+}
+
+// ckptPath returns a scratch path for a parameter-server checkpoint.
+func ckptPath() string {
+	return filepath.Join(tmpDir(), "model.ck")
 }
 
 // Thin aliases keep experiments2.go free of extra imports.

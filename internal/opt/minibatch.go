@@ -17,6 +17,29 @@ type MiniBatchConfig struct {
 	Seed      int64
 }
 
+// BatchGradientInto writes the L2-regularized mini-batch gradient direction
+// into grad:
+//
+//	grad = l2·w + Σ_{k∈rows} ∂L/∂m(w·x_{off+k}, y_{off+k}) · x_{off+k}
+//
+// rows holds example indices relative to off; grad must have length
+// data.Cols(). The caller applies the −step/|batch| scaling. It is shared by
+// MiniBatchSGD and the parameter-server workers so both compute bit-identical
+// batch gradients.
+func BatchGradientInto(data RowData, y, w []float64, loss Loss, l2 float64, rows []int, off int, grad []float64) {
+	for j := range grad {
+		grad[j] = l2 * w[j]
+	}
+	for _, k := range rows {
+		i := off + k
+		x := data.Row(i)
+		g := loss.Deriv(la.Dot(w, x), y[i])
+		if g != 0 {
+			la.Axpy(g, x, grad)
+		}
+	}
+}
+
 // MiniBatchSGD trains with averaged mini-batch gradients — the middle ground
 // between full-batch GD and per-example SGD that most of the surveyed
 // systems (parameter servers, SystemML's distributed SGD) actually run.
@@ -47,16 +70,7 @@ func MiniBatchSGD(data RowData, y []float64, loss Loss, cfg MiniBatchConfig) (*S
 		step := cfg.Step / (1 + cfg.Decay*float64(e))
 		for b := 0; b < n; b += cfg.BatchSize {
 			hi := min(b+cfg.BatchSize, n)
-			for j := range grad {
-				grad[j] = cfg.L2 * w[j]
-			}
-			for _, i := range order[b:hi] {
-				x := data.Row(i)
-				g := loss.Deriv(la.Dot(w, x), y[i])
-				if g != 0 {
-					la.Axpy(g, x, grad)
-				}
-			}
+			BatchGradientInto(data, y, w, loss, cfg.L2, order[b:hi], 0, grad)
 			la.Axpy(-step/float64(hi-b), grad, w)
 		}
 		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })

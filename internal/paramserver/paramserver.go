@@ -6,9 +6,18 @@
 // asynchronous. Optional per-operation latency injection emulates network
 // round trips so the BSP-vs-async throughput shape is observable on a single
 // machine.
+//
+// The package is fault-tolerant: an injectable fault model (FaultConfig) can
+// lose requests, lose acknowledgements, jitter latency, and kill workers at
+// a deterministic tick. Every shard RPC runs under bounded exponential-
+// backoff retry (RetryPolicy); sequence-tagged pushes make ack-loss replay
+// idempotent; Train periodically checkpoints the model through
+// internal/storage and restarts killed workers from the shared clock so a
+// crash neither deadlocks the SSP barrier nor dooms the run.
 package paramserver
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,16 +33,29 @@ import (
 type Server struct {
 	shards []*shard
 	dim    int
-	pulls  atomic.Int64
-	pushes atomic.Int64
 	// opLatency is injected before every shard RPC to emulate the network.
 	opLatency time.Duration
+	// retry bounds the client-side retry loop; faults injects failures.
+	// Both are installed before workers start and read-only afterwards.
+	retry  RetryPolicy
+	faults *faultInjector
+
+	pulls      atomic.Int64
+	pushes     atomic.Int64
+	rpcs       atomic.Int64
+	retries    atomic.Int64
+	timeouts   atomic.Int64
+	recoveries atomic.Int64
 }
 
 type shard struct {
 	mu sync.Mutex
 	lo int // global index of w[0]
 	w  []float64
+	// lastSeq tracks, per worker, the newest applied push sequence. A
+	// sequence-tagged push whose seq is not newer is a duplicate replay of
+	// an uncertain (ack-lost) RPC and is skipped — shard-side idempotency.
+	lastSeq map[int]uint64
 }
 
 // NewServer creates a parameter server for a dim-dimensional model split
@@ -45,11 +67,11 @@ func NewServer(dim, shards int, opLatency time.Duration) (*Server, error) {
 	if shards < 1 || shards > dim {
 		return nil, fmt.Errorf("paramserver: shards=%d out of range for dim=%d", shards, dim)
 	}
-	s := &Server{dim: dim, opLatency: opLatency}
+	s := &Server{dim: dim, opLatency: opLatency, retry: DefaultRetryPolicy()}
 	chunk := (dim + shards - 1) / shards
 	for lo := 0; lo < dim; lo += chunk {
 		hi := min(lo+chunk, dim)
-		s.shards = append(s.shards, &shard{lo: lo, w: make([]float64, hi-lo)})
+		s.shards = append(s.shards, &shard{lo: lo, w: make([]float64, hi-lo), lastSeq: make(map[int]uint64)})
 	}
 	return s, nil
 }
@@ -57,43 +79,167 @@ func NewServer(dim, shards int, opLatency time.Duration) (*Server, error) {
 // NumShards returns the shard count.
 func (s *Server) NumShards() int { return len(s.shards) }
 
+// SetRetryPolicy replaces the retry policy. Not safe to call concurrently
+// with pulls or pushes.
+func (s *Server) SetRetryPolicy(p RetryPolicy) { s.retry = p }
+
+// SetFaults installs the fault model (nil disables injection). Not safe to
+// call concurrently with pulls or pushes.
+func (s *Server) SetFaults(cfg *FaultConfig) {
+	if cfg == nil {
+		s.faults = nil
+		return
+	}
+	s.faults = newFaultInjector(*cfg)
+}
+
 // Pull gathers the full model (one emulated RPC per shard).
-func (s *Server) Pull() []float64 {
+func (s *Server) Pull() ([]float64, error) {
 	out := make([]float64, s.dim)
 	for _, sh := range s.shards {
-		s.rpc()
-		sh.mu.Lock()
-		copy(out[sh.lo:], sh.w)
-		sh.mu.Unlock()
+		sh := sh
+		err := s.callShard(func() {
+			sh.mu.Lock()
+			copy(out[sh.lo:sh.lo+len(sh.w)], sh.w)
+			sh.mu.Unlock()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("paramserver: pull: %w", err)
+		}
 	}
 	s.pulls.Add(1)
-	return out
+	return out, nil
 }
 
 // Push applies w += scale·delta across shards (one emulated RPC per shard
-// that receives a non-zero slice).
+// that receives a non-zero slice; shards whose delta slice is all zero are
+// skipped entirely). Retries after an ack-lost RPC are applied at most once
+// per call; workers inside Train use the sequence-tagged pushFrom, whose
+// replay dedup lives on the shard itself.
 func (s *Server) Push(delta []float64, scale float64) error {
+	return s.push(-1, 0, delta, scale)
+}
+
+// pushFrom is a sequence-tagged push: worker identifies the single-threaded
+// client and seq must be strictly increasing per worker across the run
+// (restarted workers bump an incarnation number in the high bits). Shards
+// skip any (worker, seq) at or below their high-water mark, which makes the
+// replay of an uncertain push idempotent even though the client cannot know
+// whether the lost-ack attempt applied.
+func (s *Server) pushFrom(worker int, seq uint64, delta []float64, scale float64) error {
+	if worker < 0 {
+		return fmt.Errorf("paramserver: pushFrom worker id %d must be ≥ 0", worker)
+	}
+	return s.push(worker, seq, delta, scale)
+}
+
+func (s *Server) push(worker int, seq uint64, delta []float64, scale float64) error {
 	if len(delta) != s.dim {
 		return fmt.Errorf("paramserver: push length %d, want %d", len(delta), s.dim)
 	}
 	for _, sh := range s.shards {
-		s.rpc()
-		sh.mu.Lock()
-		la.Axpy(scale, delta[sh.lo:sh.lo+len(sh.w)], sh.w)
-		sh.mu.Unlock()
+		part := delta[sh.lo : sh.lo+len(sh.w)]
+		if allZero(part) {
+			continue
+		}
+		applied := false
+		err := s.callShard(func() {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if worker >= 0 {
+				if last, ok := sh.lastSeq[worker]; ok && seq <= last {
+					return // duplicate replay of an ack-lost attempt
+				}
+				sh.lastSeq[worker] = seq
+			} else {
+				if applied {
+					return
+				}
+				applied = true
+			}
+			la.Axpy(scale, part, sh.w)
+		})
+		if err != nil {
+			return fmt.Errorf("paramserver: push: %w", err)
+		}
 	}
 	s.pushes.Add(1)
 	return nil
 }
 
-// Stats returns cumulative pull/push counts.
-func (s *Server) Stats() (pulls, pushes int64) {
-	return s.pulls.Load(), s.pushes.Load()
+func allZero(xs []float64) bool {
+	for _, v := range xs {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-func (s *Server) rpc() {
-	if s.opLatency > 0 {
-		time.Sleep(s.opLatency)
+// callShard runs one logical shard operation through the emulated RPC path:
+// latency (plus injected jitter), injected request/ack loss, and bounded
+// exponential-backoff retry under the per-op deadline. apply must be
+// idempotent — it runs once per delivered attempt, and an ack-lost attempt
+// is delivered yet reported failed.
+func (s *Server) callShard(apply func()) error {
+	var deadline time.Time
+	if s.retry.Deadline > 0 {
+		deadline = time.Now().Add(s.retry.Deadline)
+	}
+	backoff := s.retry.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		s.rpcs.Add(1)
+		var fail, ackLoss bool
+		var jitter time.Duration
+		if s.faults != nil {
+			fail, ackLoss, jitter = s.faults.rpcFault()
+		}
+		if d := s.opLatency + jitter; d > 0 {
+			time.Sleep(d)
+		}
+		if !fail {
+			apply()
+			if !ackLoss {
+				return nil
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			s.timeouts.Add(1)
+			return fmt.Errorf("%w (%v budget, %d attempts)", ErrOpDeadline, s.retry.Deadline, attempt+1)
+		}
+		if attempt >= s.retry.MaxRetries {
+			return fmt.Errorf("%w (%d attempts)", ErrRPCFailed, attempt+1)
+		}
+		s.retries.Add(1)
+		if backoff > 0 {
+			time.Sleep(backoff)
+		}
+		backoff = min(2*backoff, s.retry.MaxBackoff)
+	}
+}
+
+// Stats is a snapshot of the server's cumulative operation counters.
+type Stats struct {
+	// Pulls and Pushes count completed logical operations.
+	Pulls, Pushes int64
+	// ShardRPCs counts emulated per-shard RPC attempts (retries included;
+	// shards skipped by the sparse-push fast path are not).
+	ShardRPCs int64
+	// Retries counts RPC attempts beyond the first for an op; Timeouts
+	// counts ops abandoned at the RetryPolicy deadline; Recoveries counts
+	// worker restarts after injected kills.
+	Retries, Timeouts, Recoveries int64
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Pulls:      s.pulls.Load(),
+		Pushes:     s.pushes.Load(),
+		ShardRPCs:  s.rpcs.Load(),
+		Retries:    s.retries.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Recoveries: s.recoveries.Load(),
 	}
 }
 
@@ -104,6 +250,12 @@ type sspClock struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	clocks []int
+	// maxSkew is the largest clocks[w]−min observed as a worker entered a
+	// tick — the SSP invariant bounds it by the staleness (guarded by mu).
+	maxSkew int
+	// aborted is first-error cancellation: every blocked or about-to-block
+	// worker drains out instead of training against a doomed run.
+	aborted bool
 	// idle accumulates total time workers spent blocked in waitTurn — the
 	// coordination cost BSP pays under stragglers.
 	idle atomic.Int64
@@ -125,17 +277,25 @@ func (c *sspClock) minClock() int {
 	return m
 }
 
-// waitTurn blocks worker w until its next tick respects the staleness bound.
-func (c *sspClock) waitTurn(w, staleness int) {
+// waitTurn blocks worker w until its next tick respects the staleness bound;
+// it returns false if the run was aborted while waiting.
+func (c *sspClock) waitTurn(w, staleness int) bool {
 	c.mu.Lock()
-	if c.clocks[w]-c.minClock() > staleness {
+	defer c.mu.Unlock()
+	if c.clocks[w]-c.minClock() > staleness && !c.aborted {
 		start := time.Now()
-		for c.clocks[w]-c.minClock() > staleness {
+		for c.clocks[w]-c.minClock() > staleness && !c.aborted {
 			c.cond.Wait()
 		}
 		c.idle.Add(int64(time.Since(start)))
 	}
-	c.mu.Unlock()
+	if c.aborted {
+		return false
+	}
+	if skew := c.clocks[w] - c.minClock(); skew > c.maxSkew {
+		c.maxSkew = skew
+	}
+	return true
 }
 
 // advance records that worker w finished one tick.
@@ -153,6 +313,32 @@ func (c *sspClock) finish(w int) {
 	c.clocks[w] = math.MaxInt / 2
 	c.cond.Broadcast()
 	c.mu.Unlock()
+}
+
+// reenter admits a restarted worker at the current global minimum tick, so
+// it rejoins the SSP window without blocking peers or violating the
+// staleness bound, and returns the tick it must resume from.
+func (c *sspClock) reenter(w int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.minClock()
+	c.clocks[w] = m
+	c.cond.Broadcast()
+	return m
+}
+
+// abort triggers first-error cancellation, waking every blocked worker.
+func (c *sspClock) abort() {
+	c.mu.Lock()
+	c.aborted = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *sspClock) maxSkewSeen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxSkew
 }
 
 // Mode names the coordination regime.
@@ -197,6 +383,17 @@ type TrainConfig struct {
 	// wait for the straggler; SSP tolerates it up to the staleness bound;
 	// async ignores it — the published parameter-server motivation.
 	StragglerDelay time.Duration
+	// Faults, if non-nil, is installed into the server for the run: RPC
+	// request/ack loss, latency jitter, and deterministic worker kills.
+	Faults *FaultConfig
+	// Retry, if non-nil, replaces the server's retry policy for the run.
+	Retry *RetryPolicy
+	// Checkpoint enables periodic model snapshots (see CheckpointConfig);
+	// the latest snapshot survives a failed run for restart-from-checkpoint.
+	Checkpoint CheckpointConfig
+	// MaxWorkerRestarts bounds how many times each killed worker is
+	// restarted before the run aborts (0 = a kill is fatal).
+	MaxWorkerRestarts int
 }
 
 func (c TrainConfig) validate(n int) error {
@@ -218,6 +415,12 @@ func (c TrainConfig) validate(n int) error {
 	if c.Mode == SSP && c.Staleness < 0 {
 		return fmt.Errorf("paramserver: negative staleness")
 	}
+	if c.Checkpoint.Path != "" && c.Checkpoint.Every < 1 {
+		return fmt.Errorf("paramserver: checkpoint interval must be ≥ 1 push, got %d", c.Checkpoint.Every)
+	}
+	if c.MaxWorkerRestarts < 0 {
+		return fmt.Errorf("paramserver: negative MaxWorkerRestarts")
+	}
 	return nil
 }
 
@@ -227,6 +430,15 @@ type Result struct {
 	FinalLoss float64
 	Pulls     int64
 	Pushes    int64
+	// Retries, Timeouts, and Recoveries mirror Stats for the run's server:
+	// RPC attempts beyond the first, deadline-abandoned ops, and worker
+	// restarts after injected kills.
+	Retries    int64
+	Timeouts   int64
+	Recoveries int64
+	// MaxClockSkew is the largest clocks[w]−min observed as any worker
+	// entered a tick; the SSP invariant keeps it ≤ the staleness bound.
+	MaxClockSkew int
 	// WorkerIdle is the total time workers spent blocked on the SSP clock —
 	// near zero for async, large for BSP under stragglers.
 	WorkerIdle time.Duration
@@ -235,6 +447,13 @@ type Result struct {
 // Train runs mini-batch SGD with the given coordination mode: rows are
 // partitioned across workers; each batch tick a worker pulls the model,
 // computes its mini-batch gradient, and pushes the scaled update.
+//
+// Under an injected fault model, failed RPCs are retried with backoff, a
+// killed worker is restarted up to MaxWorkerRestarts times — re-entering the
+// shared clock at the current global minimum tick and recomputing its data
+// cursor from it — and any unrecoverable error cancels the whole run
+// promptly (first-error cancellation) instead of letting healthy workers
+// train a doomed model to completion.
 func Train(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainConfig) (*Result, error) {
 	n := data.Rows()
 	if err := cfg.validate(n); err != nil {
@@ -245,6 +464,16 @@ func Train(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainCo
 	}
 	if data.Cols() != ps.dim {
 		return nil, fmt.Errorf("paramserver: data has %d cols, server dim %d", data.Cols(), ps.dim)
+	}
+	if cfg.Faults != nil {
+		ps.SetFaults(cfg.Faults)
+	}
+	if cfg.Retry != nil {
+		ps.SetRetryPolicy(*cfg.Retry)
+	}
+	var ck *checkpointer
+	if cfg.Checkpoint.Path != "" {
+		ck = newCheckpointer(cfg.Checkpoint)
 	}
 	staleness := cfg.Staleness
 	switch cfg.Mode {
@@ -269,38 +498,25 @@ func Train(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainCo
 		go func(id, lo, hi int) {
 			defer wg.Done()
 			defer clock.finish(id)
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
-			span := hi - lo
-			order := rng.Perm(span)
-			grad := make([]float64, ps.dim)
-			for e := 0; e < cfg.Epochs; e++ {
-				step := cfg.Step / (1 + cfg.Decay*float64(e))
-				for b := 0; b < span; b += cfg.BatchSize {
-					clock.waitTurn(id, staleness)
-					if id == 0 && cfg.StragglerDelay > 0 {
-						time.Sleep(cfg.StragglerDelay)
-					}
-					w := ps.Pull()
-					for j := range grad {
-						grad[j] = cfg.L2 * w[j]
-					}
-					bEnd := min(b+cfg.BatchSize, span)
-					for _, k := range order[b:bEnd] {
-						i := lo + k
-						x := data.Row(i)
-						g := loss.Deriv(la.Dot(w, x), y[i])
-						if g != 0 {
-							la.Axpy(g, x, grad)
-						}
-					}
-					scale := -step / float64(bEnd-b)
-					if err := ps.Push(grad, scale); err != nil {
-						errs[id] = err
-						return
-					}
-					clock.advance(id)
+			// Supervisor loop: restart the worker body after an injected
+			// kill, re-entering the clock at the current global minimum.
+			// The incarnation number keeps push sequences monotone across
+			// restarts even though the worker's local state is lost.
+			startTick, incarnation := 0, 0
+			for {
+				err := trainWorker(ps, data, y, loss, cfg, clock, ck, id, lo, hi, staleness, startTick, incarnation)
+				switch {
+				case err == nil || errors.Is(err, errAborted):
+					return
+				case errors.Is(err, errKilled) && incarnation < cfg.MaxWorkerRestarts:
+					incarnation++
+					ps.recoveries.Add(1)
+					startTick = clock.reenter(id)
+				default:
+					errs[id] = err
+					clock.abort()
+					return
 				}
-				rng.Shuffle(span, func(a, b int) { order[a], order[b] = order[b], order[a] })
 			}
 		}(wkr, lo, hi)
 	}
@@ -310,13 +526,76 @@ func Train(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainCo
 			return nil, err
 		}
 	}
-	w := ps.Pull()
-	pulls, pushes := ps.Stats()
+	w, err := ps.Pull()
+	if err != nil {
+		return nil, fmt.Errorf("paramserver: final pull: %w", err)
+	}
+	st := ps.Stats()
 	return &Result{
-		W:          w,
-		FinalLoss:  opt.MeanLoss(data, y, w, loss),
-		Pulls:      pulls,
-		Pushes:     pushes,
-		WorkerIdle: time.Duration(clock.idle.Load()),
+		W:            w,
+		FinalLoss:    opt.MeanLoss(data, y, w, loss),
+		Pulls:        st.Pulls,
+		Pushes:       st.Pushes,
+		Retries:      st.Retries,
+		Timeouts:     st.Timeouts,
+		Recoveries:   st.Recoveries,
+		MaxClockSkew: clock.maxSkewSeen(),
+		WorkerIdle:   time.Duration(clock.idle.Load()),
 	}, nil
+}
+
+// trainWorker is one incarnation of worker id over rows [lo, hi): it runs
+// ticks [startTick, total), deriving epoch and batch position from the tick
+// so a restarted incarnation can resume anywhere. The shuffle order is
+// reconstructed deterministically from the seed by replaying the per-epoch
+// shuffles, so a restart sees exactly the order the lost incarnation did.
+func trainWorker(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainConfig,
+	clock *sspClock, ck *checkpointer, id, lo, hi, staleness, startTick, incarnation int) error {
+	span := hi - lo
+	ticksPerEpoch := (span + cfg.BatchSize - 1) / cfg.BatchSize
+	total := cfg.Epochs * ticksPerEpoch
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	order := rng.Perm(span)
+	shuffle := func() {
+		rng.Shuffle(span, func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+	for e := 0; e < startTick/ticksPerEpoch; e++ {
+		shuffle()
+	}
+	grad := make([]float64, ps.dim)
+	seq := uint64(incarnation) << 32
+	for t := startTick; t < total; t++ {
+		if t != startTick && t%ticksPerEpoch == 0 {
+			shuffle()
+		}
+		if !clock.waitTurn(id, staleness) {
+			return errAborted
+		}
+		if ps.faults != nil && ps.faults.shouldKill(id, t) {
+			return fmt.Errorf("worker %d crashed at tick %d: %w", id, t, errKilled)
+		}
+		if id == 0 && cfg.StragglerDelay > 0 {
+			time.Sleep(cfg.StragglerDelay)
+		}
+		w, err := ps.Pull()
+		if err != nil {
+			return fmt.Errorf("paramserver: worker %d tick %d: %w", id, t, err)
+		}
+		e := t / ticksPerEpoch
+		b := (t % ticksPerEpoch) * cfg.BatchSize
+		bEnd := min(b+cfg.BatchSize, span)
+		opt.BatchGradientInto(data, y, w, loss, cfg.L2, order[b:bEnd], lo, grad)
+		step := cfg.Step / (1 + cfg.Decay*float64(e))
+		seq++
+		if err := ps.pushFrom(id, seq, grad, -step/float64(bEnd-b)); err != nil {
+			return fmt.Errorf("paramserver: worker %d tick %d: %w", id, t, err)
+		}
+		if ck != nil {
+			if err := ck.maybe(ps); err != nil {
+				return fmt.Errorf("paramserver: worker %d: %w", id, err)
+			}
+		}
+		clock.advance(id)
+	}
+	return nil
 }

@@ -37,15 +37,21 @@ func TestPullPushRoundTrip(t *testing.T) {
 	if err := ps.Push(delta, 2); err != nil {
 		t.Fatal(err)
 	}
-	w := ps.Pull()
+	w, err := ps.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range w {
 		if w[i] != 2*delta[i] {
 			t.Fatalf("w[%d] = %v", i, w[i])
 		}
 	}
-	pulls, pushes := ps.Stats()
-	if pulls != 1 || pushes != 1 {
-		t.Fatalf("stats = %d pulls %d pushes", pulls, pushes)
+	st := ps.Stats()
+	if st.Pulls != 1 || st.Pushes != 1 {
+		t.Fatalf("stats = %d pulls %d pushes", st.Pulls, st.Pushes)
+	}
+	if st.Retries != 0 || st.Timeouts != 0 || st.Recoveries != 0 {
+		t.Fatalf("fault counters must be zero without injection: %+v", st)
 	}
 }
 
@@ -65,7 +71,10 @@ func TestConcurrentPushesAllLand(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	w := ps.Pull()
+	w, err := ps.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range w {
 		if w[i] != workers*pushesPer {
 			t.Fatalf("w[%d] = %v, want %d (lost updates)", i, w[i], workers*pushesPer)

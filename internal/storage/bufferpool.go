@@ -2,7 +2,9 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -99,17 +101,26 @@ func (bp *BufferPool) SetFailureHooks(read, write func(PageID) error) {
 }
 
 // Pin fetches the page, loading from disk or allocating zeroed storage of
-// size floats on first touch, pins it, and returns its data. The caller must
-// call Unpin (optionally marking dirty) when done.
+// size floats on first touch, pins it, and returns its data. A page's size is
+// fixed at first touch: pinning an existing page with a different size is a
+// caller bug and returns an error rather than silently handing back a slice
+// of unexpected length. The caller must call Unpin (optionally marking dirty)
+// when done.
 func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.tick++
 	if p, ok := bp.resident[id]; ok {
+		if len(p.data) != size {
+			return nil, fmt.Errorf("storage: Pin page %v: size %d floats, but resident page holds %d", id, size, len(p.data))
+		}
 		bp.stats.Hits++
 		p.pinned++
 		p.lastUsed = bp.tick
 		return p.data, nil
+	}
+	if n, ok := bp.onDisk[id]; ok && n != size {
+		return nil, fmt.Errorf("storage: Pin page %v: size %d floats, but page is on disk with %d", id, size, n)
 	}
 	bp.stats.Misses++
 	if err := bp.makeRoomLocked(); err != nil {
@@ -159,7 +170,9 @@ func (bp *BufferPool) FlushAll() error {
 	return nil
 }
 
-// DropOwner discards all pages (memory and disk) belonging to owner.
+// DropOwner discards all pages (memory and disk) belonging to owner. Spill
+// files that cannot be removed are still forgotten by the pool, but the
+// failures are collected and returned so callers see leaked disk space.
 func (bp *BufferPool) DropOwner(owner int) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -171,13 +184,16 @@ func (bp *BufferPool) DropOwner(owner int) error {
 			delete(bp.resident, id)
 		}
 	}
+	var errs []error
 	for id := range bp.onDisk {
 		if id.Owner == owner {
-			os.Remove(bp.pagePath(id))
+			if err := os.Remove(bp.pagePath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				errs = append(errs, fmt.Errorf("storage: DropOwner %d: %w", owner, err))
+			}
 			delete(bp.onDisk, id)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // ResidentPages returns the number of in-memory pages.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -607,4 +609,131 @@ func tablesEqual(a, b *Table) bool {
 		}
 	}
 	return true
+}
+
+// Satellite regression: pinning a page with a size that disagrees with the
+// page's fixed length (resident or spilled) must fail descriptively instead
+// of silently handing back a slice of unexpected length.
+func TestBufferPoolPinSizeMismatch(t *testing.T) {
+	bp, err := NewBufferPool(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := PageID{1, 0}
+	d, err := bp.Pin(id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d[0] = 42
+	// Resident with length 4: a size-6 pin is a caller bug.
+	if _, err := bp.Pin(id, 6); err == nil || !strings.Contains(err.Error(), "resident") {
+		t.Fatalf("resident mismatch err = %v, want descriptive size error", err)
+	}
+	bp.Unpin(id, true)
+	// Evict it to disk by filling the 1-page pool with another page.
+	if _, err := bp.Pin(PageID{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(PageID{1, 1}, false)
+	if _, err := bp.Pin(id, 6); err == nil || !strings.Contains(err.Error(), "on disk with 4") {
+		t.Fatalf("on-disk mismatch err = %v, want descriptive size error", err)
+	}
+	// The correct size still round-trips the content.
+	d, err = bp.Pin(id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 42 {
+		t.Fatalf("reloaded d[0] = %v, want 42", d[0])
+	}
+	bp.Unpin(id, false)
+}
+
+// Satellite regression: DropOwner must report spill files it failed to
+// remove instead of silently leaking them.
+func TestDropOwnerReportsRemoveFailures(t *testing.T) {
+	bp, err := NewBufferPool(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := PageID{1, 0}
+	d, _ := bp.Pin(id, 2)
+	d[0] = 1
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the spill file with a non-empty directory of the same name so
+	// os.Remove fails even when running as root.
+	path := bp.pagePath(id)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(path, "block"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err = bp.DropOwner(1)
+	if err == nil || !strings.Contains(err.Error(), "DropOwner 1") {
+		t.Fatalf("err = %v, want collected os.Remove failure", err)
+	}
+	// The pool forgot the page either way.
+	if _, onDisk := bp.onDisk[id]; onDisk {
+		t.Fatal("onDisk entry must be dropped even when Remove fails")
+	}
+}
+
+// Checkpoint write/read round trip, atomicity (no temp droppings), and
+// corruption detection.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ck")
+	w := []float64{1.5, -2.25, 0, 1e300, -1e-300}
+	if err := WriteCheckpoint(path, 77, w); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second snapshot — the atomic rename path.
+	w2 := []float64{9, 8, 7}
+	if err := WriteCheckpoint(path, 78, w2); err != nil {
+		t.Fatal(err)
+	}
+	clock, got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 78 || len(got) != 3 {
+		t.Fatalf("clock=%d len=%d, want 78, 3", clock, len(got))
+	}
+	for i := range got {
+		if got[i] != w2[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], w2[i])
+		}
+	}
+	// No leftover temp files from either write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want only the checkpoint (temp file leaked?)", len(entries))
+	}
+	// Corruption: bad magic and truncation must both fail.
+	if err := os.WriteFile(path, []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(path); err == nil {
+		t.Fatal("want bad-header error")
+	}
+	if err := WriteCheckpoint(path, 1, w); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, full[:len(full)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(path); err == nil {
+		t.Fatal("want truncation error")
+	}
+	if _, _, err := ReadCheckpoint(filepath.Join(dir, "missing.ck")); err == nil {
+		t.Fatal("want missing-file error")
+	}
 }
