@@ -2,17 +2,36 @@
 #
 #   make test           tier-1 gate: build everything, run every test
 #   make check          static analysis + race detector over the concurrent
-#                       packages (pool, la, compress, paramserver, storage, opt)
+#                       packages (pool, la, compress, paramserver, storage,
+#                       opt, metrics)
+#   make ci             exactly what .github/workflows/ci.yml runs, in order —
+#                       keep the two in lockstep so CI and local verification
+#                       cannot drift
 #   make bench          benchstat-compatible timings for the perf-tracked
 #                       experiments (E4, E5, E6, E10, and the E14 fault-
 #                       injection scenario) — run before and after a kernel
 #                       change and feed both logs to benchstat
+#   make bench-guard    the non-blocking CI bench job: run E4/E5 at full
+#                       scale with -snapshot/-metrics and diff against the
+#                       BENCH_baseline.json snapshot pins
 #   make lint-examples  run the DML static analyzer over all shipped scripts
+
+# Fail fast: every recipe line runs under `bash -eu -o pipefail`, so a
+# failing command in a multi-line recipe (or mid-pipeline) stops the build
+# instead of letting later lines mask its exit code.
+SHELL := /bin/bash
+.SHELLFLAGS := -eu -o pipefail -c
 
 GO ?= go
 BENCH_COUNT ?= 6
 
-.PHONY: test check vet race bench lint-examples
+# Packages with real concurrency — the ones worth the race detector's 10x
+# slowdown. metrics is lock-striped and must stay race-clean.
+RACE_PKGS := ./internal/pool/... ./internal/la/... ./internal/compress/... \
+	./internal/paramserver/... ./internal/storage/... ./internal/opt/... \
+	./internal/metrics/...
+
+.PHONY: test check ci vet race bench bench-guard lint-examples
 
 test:
 	$(GO) build ./...
@@ -20,16 +39,22 @@ test:
 
 check: vet race
 
+# Mirror of the blocking CI jobs (build-test, vet, race, lint-examples).
+ci: test vet race lint-examples
+
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/pool/... ./internal/la/... ./internal/compress/... \
-		./internal/paramserver/... ./internal/storage/... ./internal/opt/...
+	$(GO) test -race $(RACE_PKGS)
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance)$$' \
 		-benchmem -count=$(BENCH_COUNT) .
+
+bench-guard:
+	$(GO) run ./cmd/dmmlbench -exp E4,E5 -snapshot bench_current.json -metrics metrics_current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -current bench_current.json -metrics metrics_current.json
 
 lint-examples:
 	$(GO) run ./cmd/dmml lint -strict examples/dml_script/scripts/*.dml

@@ -1,0 +1,198 @@
+// Command benchguard compares a dmmlbench -snapshot run against a baseline
+// and warns about wall-time regressions. The CI bench-guard job runs it
+// non-blocking on every push: regressions print loud warnings (and GitHub
+// ::warning:: annotations) without failing the build, because shared CI
+// runners are too noisy for a hard gate.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_baseline.json -current bench_current.json
+//	benchguard ... -warn-pct 15          # warning threshold (default 15%)
+//	benchguard ... -strict               # exit 1 on regression (local use)
+//	benchguard ... -metrics metrics.json # validate + summarize a -metrics dump
+//
+// The baseline may be either another dmmlbench -snapshot array
+// ([{"id":"E4","ms":...}]) or the repo's BENCH_baseline.json pin file, whose
+// per-benchmark post.ns_op samples are reduced to a median and mapped to
+// experiment ids (BenchmarkE4CompressedMV -> E4). Experiments present on
+// only one side are reported and skipped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"dmml/internal/metrics"
+)
+
+type snapshotEntry struct {
+	ID string  `json:"id"`
+	Ms float64 `json:"ms"`
+}
+
+// pinFile is the shape of BENCH_baseline.json: benchstat-style pinned
+// samples per benchmark plus an optional whole-experiment snapshot section,
+// keeping only what the guard needs.
+type pinFile struct {
+	// Snapshot holds dmmlbench -snapshot wall times pinned on the baseline
+	// machine — the like-for-like comparison for a -snapshot current run.
+	Snapshot   []snapshotEntry `json:"snapshot"`
+	Benchmarks map[string]struct {
+		Post struct {
+			NsOp []float64 `json:"ns_op"`
+		} `json:"post"`
+	} `json:"benchmarks"`
+}
+
+var benchIDRe = regexp.MustCompile(`^BenchmarkE(\d+)`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline: a -snapshot array or the BENCH_baseline.json pin file")
+	currentPath := flag.String("current", "", "current run: a dmmlbench -snapshot JSON file (required)")
+	metricsPath := flag.String("metrics", "", "optional dmmlbench -metrics dump to validate and summarize")
+	warnPct := flag.Float64("warn-pct", 15, "warn when an experiment slows down by more than this percent")
+	strict := flag.Bool("strict", false, "exit non-zero when any experiment regresses past -warn-pct")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	current, err := loadSnapshot(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	regressed := 0
+	fmt.Printf("%-8s %12s %12s %9s\n", "exp", "baseline", "current", "delta")
+	for _, cur := range current {
+		base, ok := baseline[cur.ID]
+		if !ok {
+			fmt.Printf("%-8s %12s %12.1fms %9s\n", cur.ID, "(none)", cur.Ms, "-")
+			continue
+		}
+		delta := 100 * (cur.Ms - base) / base
+		fmt.Printf("%-8s %10.1fms %10.1fms %+8.1f%%\n", cur.ID, base, cur.Ms, delta)
+		if delta > *warnPct {
+			regressed++
+			// ::warning:: surfaces as an annotation in GitHub Actions and
+			// is inert everywhere else.
+			fmt.Printf("::warning title=bench regression::%s is %.1f%% slower than baseline (%.1fms -> %.1fms)\n",
+				cur.ID, delta, base, cur.Ms)
+		}
+	}
+
+	if *metricsPath != "" {
+		if err := summarizeMetrics(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+	}
+
+	if regressed > 0 {
+		fmt.Printf("benchguard: %d experiment(s) regressed past %.0f%%\n", regressed, *warnPct)
+		if *strict {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("benchguard: no regressions past threshold")
+	}
+}
+
+func loadSnapshot(path string) ([]snapshotEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []snapshotEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// loadBaseline accepts either snapshot or pin-file JSON and returns ms by
+// experiment id.
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	var entries []snapshotEntry
+	if err := json.Unmarshal(data, &entries); err == nil {
+		for _, e := range entries {
+			out[e.ID] = e.Ms
+		}
+		return out, nil
+	}
+	var pins pinFile
+	if err := json.Unmarshal(data, &pins); err != nil || (len(pins.Benchmarks) == 0 && len(pins.Snapshot) == 0) {
+		return nil, fmt.Errorf("%s: neither a snapshot array nor a baseline pin file", path)
+	}
+	// Prefer the experiment-level snapshot pins: dmmlbench wall times cover
+	// a whole experiment (many sizes/trials), while a benchmark's ns_op is
+	// one iteration — only the former compares like for like.
+	if len(pins.Snapshot) > 0 {
+		for _, e := range pins.Snapshot {
+			out[e.ID] = e.Ms
+		}
+		return out, nil
+	}
+	for name, b := range pins.Benchmarks {
+		m := benchIDRe.FindStringSubmatch(name)
+		if m == nil || len(b.Post.NsOp) == 0 {
+			continue
+		}
+		out["E"+m[1]] = median(b.Post.NsOp) / 1e6
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// summarizeMetrics decodes a dmmlbench -metrics dump (failing loudly on
+// malformed JSON — this is the CI check that the dump stays consumable)
+// and prints the headline engine counters.
+func summarizeMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: invalid metrics dump: %w", path, err)
+	}
+	fmt.Printf("metrics dump: %d counters, %d gauges, %d timers\n",
+		len(snap.Counters), len(snap.Gauges), len(snap.Timers))
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "la.flops", "pool.chunks.claimed", "ps.rpcs", "storage.bufferpool.misses":
+			fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "compress.ratio" {
+			fmt.Printf("  %-28s %.2f\n", g.Name, g.Value)
+		}
+	}
+	return nil
+}

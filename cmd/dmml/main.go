@@ -10,10 +10,18 @@
 //	dmml -explain script.dml        # print the optimized program, then run
 //	dmml -no-opt script.dml         # skip the rewrite engine
 //	dmml -csv name=path.csv ...     # bind numeric CSV files as matrices
+//	dmml -stats script.dml          # print a per-operator time table
+//	dmml -cpuprofile cpu.pprof ...  # write a pprof CPU profile
 //	dmml lint script.dml ...        # static analysis only; do not execute
 //
 // CSV bindings load headerless numeric CSV files; each becomes a dense
 // matrix variable available to the script.
+//
+// -stats enables the engine metrics registry for the run and prints a
+// SystemML-style heavy-hitter table afterwards: each operator's call
+// count, self time (excluding nested operators), total wall time, and
+// share of the run. -cpuprofile/-memprofile write standard pprof profiles
+// for `go tool pprof`.
 //
 // The lint subcommand runs the static semantic analyzer (shape/type
 // inference plus program lints) and prints diagnostics as
@@ -25,10 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dmml/internal/dml"
 	"dmml/internal/la"
+	"dmml/internal/metrics"
 	"dmml/internal/storage"
 )
 
@@ -48,22 +60,66 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	// All work happens in run so deferred teardown (profile flushing) runs
+	// before the process exits; os.Exit in main would skip it.
+	os.Exit(run())
+}
+
+func run() int {
 	expr := flag.String("e", "", "evaluate this expression instead of a file")
 	explain := flag.Bool("explain", false, "print the optimized program before running")
 	noOpt := flag.Bool("no-opt", false, "disable the rewrite optimizer")
+	statsFlag := flag.Bool("stats", false, "collect engine metrics and print a per-operator time table")
+	statsTop := flag.Int("stats-top", 15, "rows in the -stats operator table (0 = all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	var csvs csvBindings
 	flag.Var(&csvs, "csv", "bind a headerless numeric CSV as a matrix: name=path (repeatable)")
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "dmml:", err)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmml:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dmml:", err)
+			}
+		}()
+	}
+
 	src := *expr
 	if src == "" {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: dmml [-e expr] [-explain] [-no-opt] [-csv name=path] [script.dml]")
-			os.Exit(2)
+			fmt.Fprintln(os.Stderr, "usage: dmml [-e expr] [-explain] [-no-opt] [-stats] [-csv name=path] [script.dml]")
+			return 2
 		}
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		src = string(data)
 	}
@@ -73,14 +129,14 @@ func main() {
 		name, path, _ := strings.Cut(bind, "=")
 		m, err := loadMatrixCSV(path)
 		if err != nil {
-			fatal(fmt.Errorf("loading %s: %w", bind, err))
+			return fail(fmt.Errorf("loading %s: %w", bind, err))
 		}
 		env[name] = dml.Matrix(m)
 	}
 
 	prog, err := dml.Parse(src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if !*noOpt {
 		prog = prog.Optimize(dml.ShapesFromEnv(env))
@@ -90,16 +146,26 @@ func main() {
 		fmt.Println(prog)
 		fmt.Println("# ---")
 	}
-	val, stats, err := prog.Run(env)
-	for _, w := range stats.Warnings {
+	if *statsFlag {
+		metrics.Reset()
+		metrics.Enable()
+	}
+	start := time.Now()
+	val, evalStats, err := prog.Run(env)
+	elapsed := time.Since(start)
+	for _, w := range evalStats.Warnings {
 		fmt.Fprintf(os.Stderr, "dmml: warning: %s\n", w.Format(src))
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Println(val)
 	fmt.Fprintf(os.Stderr, "# flops=%.3g cells=%d cse_hits=%d\n",
-		stats.Flops, stats.CellsAllocated, stats.CSEHits)
+		evalStats.Flops, evalStats.CellsAllocated, evalStats.CSEHits)
+	if *statsFlag {
+		printOpStats(os.Stderr, elapsed, *statsTop)
+	}
+	return 0
 }
 
 // loadMatrixCSV reads a headerless all-numeric CSV as a dense matrix.
@@ -137,9 +203,4 @@ func loadMatrixCSV(path string) (*la.Dense, error) {
 		names[j] = fields[j].Name
 	}
 	return storage.ToMatrix(tbl, names)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dmml:", err)
-	os.Exit(1)
 }

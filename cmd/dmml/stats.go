@@ -1,0 +1,23 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dmml/internal/metrics"
+)
+
+// printOpStats renders the -stats heavy-hitter table: every engine timer
+// that fired during the run (DML operators, la/compress kernels, parameter-
+// server ops), ranked by self time, with each operator's share of the
+// run's wall time. Modeled on SystemML's -stats output.
+func printOpStats(w io.Writer, elapsed time.Duration, k int) {
+	ops := metrics.Ops("")
+	if len(ops) == 0 {
+		fmt.Fprintln(w, "# -stats: no instrumented operators ran")
+		return
+	}
+	fmt.Fprintf(w, "# -stats: operators by self time (run took %s)\n", elapsed.Round(time.Microsecond))
+	fmt.Fprint(w, metrics.FormatOpsTable(ops, k, elapsed))
+}

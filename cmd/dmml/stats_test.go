@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"dmml/internal/dml"
+	"dmml/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/stats.golden from this run")
+
+// statsRowRe matches one data row of the -stats table: rank, operator,
+// count, then the time/share columns we mask.
+var statsRowRe = regexp.MustCompile(`^\d+\s+(\S+)\s+(\d+)\s+\S+\s+\S+\s+\S+$`)
+
+// normalizeStatsTable reduces the table to its deterministic content:
+// operator names and call counts. Times (and hence self-time ranking and
+// the share column) vary run to run, so rows are re-sorted by name.
+func normalizeStatsTable(t *testing.T, table string) string {
+	t.Helper()
+	var rows []string
+	for _, line := range strings.Split(strings.TrimRight(table, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") { // header
+			continue
+		}
+		m := statsRowRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("-stats row does not match the expected shape: %q", line)
+		}
+		rows = append(rows, fmt.Sprintf("%s %s", m[1], m[2]))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n") + "\n"
+}
+
+// TestStatsGolden pins the -stats table for a fixed script: which operators
+// fire and how often is deterministic (parser, optimizer, and evaluator are
+// deterministic), and the golden file documents it — including the rewrite
+// wins (t(X)%*%X running as la.Gram, LICM keeping dml.op.%*% far below the
+// loop's iteration count).
+func TestStatsGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/stats.dml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := dml.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog = prog.Optimize(dml.ShapesFromEnv(nil))
+
+	metrics.Reset()
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+	if _, _, err := prog.Run(dml.Env{}); err != nil {
+		t.Fatal(err)
+	}
+
+	table := metrics.FormatOpsTable(metrics.Ops(""), 0, time.Second)
+	got := normalizeStatsTable(t, table)
+
+	const goldenPath = "testdata/stats.golden"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-stats operator counts changed (rerun with -update-golden if intended)\ngot:\n%swant:\n%s", got, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dmml/internal/la"
+	"dmml/internal/metrics"
 	"dmml/internal/pool"
 )
 
@@ -91,6 +92,8 @@ func (c *Matrix) MatVecInto(dst, v []float64) []float64 {
 	if len(dst) != c.rows {
 		panic(fmt.Sprintf("compress: MatVecInto dst len %d for %d rows", len(dst), c.rows))
 	}
+	sw := mMatVecTimer.Start()
+	defer sw.Stop()
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -136,6 +139,8 @@ func (c *Matrix) VecMatInto(dst, x []float64) []float64 {
 	if len(dst) != c.cols {
 		panic(fmt.Sprintf("compress: VecMatInto dst len %d for %d cols", len(dst), c.cols))
 	}
+	sw := mVecMatTimer.Start()
+	defer sw.Stop()
 	for j := range dst {
 		dst[j] = 0
 	}
@@ -314,6 +319,8 @@ func (st colStats) ucSize() int { return st.rows * 8 }
 // worker pool — columns are independent, and each group touches only its own
 // columns.
 func Compress(m *la.Dense, opts Options) *Matrix {
+	sw := mEncodeTimer.Start()
+	defer sw.Stop()
 	opts = opts.withDefaults()
 	rows, cols := m.Dims()
 	c := &Matrix{rows: rows, cols: cols}
@@ -401,6 +408,12 @@ func Compress(m *la.Dense, opts Options) *Matrix {
 		build(0, len(jobs))
 	} else {
 		pool.Do(len(jobs), 1, func(_, lo, hi int) { build(lo, hi) })
+	}
+	if metrics.Enabled() {
+		mRatio.Set(c.CompressionRatio())
+		for _, g := range c.groups {
+			countGroup(g)
+		}
 	}
 	return c
 }
@@ -660,6 +673,8 @@ func (c *Matrix) Col(j int) ([]float64, error) {
 // matrix. Columns are farmed out to the worker pool — each writes a disjoint
 // output row — with per-worker scratch for the basis and column vectors.
 func (c *Matrix) Gram() *la.Dense {
+	sw := mGramTimer.Start()
+	defer sw.Stop()
 	out := la.NewDense(c.cols, c.cols)
 	doCols := func(j0, j1 int) {
 		ej := pool.GetF64Zeroed(c.cols)

@@ -291,10 +291,10 @@ func TestLineCol(t *testing.T) {
 	src := "ab\ncde\n\nf"
 	cases := []struct{ pos, line, col int }{
 		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // "ab" and its newline
-		{3, 2, 1}, {5, 2, 3},            // "cde"
-		{7, 3, 1},                       // empty line
-		{8, 4, 1},                       // "f"
-		{99, 4, 2},                      // clamped past EOF
+		{3, 2, 1}, {5, 2, 3}, // "cde"
+		{7, 3, 1},  // empty line
+		{8, 4, 1},  // "f"
+		{99, 4, 2}, // clamped past EOF
 	}
 	for _, c := range cases {
 		line, col := lineCol(src, c.pos)

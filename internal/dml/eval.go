@@ -1,10 +1,12 @@
 package dml
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"dmml/internal/la"
+	"dmml/internal/metrics"
 	"dmml/internal/opt"
 )
 
@@ -147,6 +149,10 @@ type evaluator struct {
 	env   Env
 	stats *EvalStats
 	memo  map[string]Value // per-statement CSE cache
+	// ctx carries the innermost open metrics span while -stats collection
+	// is enabled, so nested operator evaluations report parent/child self
+	// time. nil until the first instrumented node.
+	ctx context.Context
 }
 
 func (e *evaluator) allocCells(rows, cols int) {
@@ -175,6 +181,24 @@ func (e *evaluator) eval(n Node) (Value, error) {
 }
 
 func (e *evaluator) evalRaw(n Node) (Value, error) {
+	// Operator tracing for -stats: each compound node runs under a span so
+	// the top-K table can attribute wall time per operator with child time
+	// separated out. Everything inside this block is skipped — at the cost
+	// of one atomic load — when collection is disabled.
+	if metrics.Enabled() {
+		if name := opSpanName(n); name != "" {
+			saved := e.ctx
+			if saved == nil {
+				saved = context.Background()
+			}
+			ctx, end := metrics.Span(saved, name)
+			e.ctx = ctx
+			defer func() {
+				end()
+				e.ctx = saved
+			}()
+		}
+	}
 	switch t := n.(type) {
 	case *NumLit:
 		return Scalar(t.Val), nil

@@ -1,0 +1,26 @@
+package la
+
+import "dmml/internal/metrics"
+
+// Engine observability instruments (see internal/metrics). Everything here
+// is a no-op costing one atomic load until metrics.Enable() — the kernels'
+// AllocsPerRun pins and the E5 benchmark hold with these in place.
+//
+// The dispatch counters make the GEMM gate auditable at runtime: `dmmlbench
+// -metrics` shows how many products the flops/sparsity heuristic sent to
+// the blocked, k-split, and streaming kernels, which is the first question
+// every perf regression hunt asks.
+var (
+	mFlops = metrics.NewCounter("la.flops")
+
+	mMatMulCalls   = metrics.NewCounter("la.matmul.calls")
+	mMatMulBlocked = metrics.NewCounter("la.matmul.dispatch.blocked")
+	mMatMulKSplit  = metrics.NewCounter("la.matmul.dispatch.ksplit")
+	mMatMulStream  = metrics.NewCounter("la.matmul.dispatch.stream")
+	mMatMulTimer   = metrics.NewTimer("la.MatMul")
+
+	mMatVecCalls = metrics.NewCounter("la.matvec.calls")
+	mVecMatCalls = metrics.NewCounter("la.vecmat.calls")
+	mGramCalls   = metrics.NewCounter("la.gram.calls")
+	mGramTimer   = metrics.NewTimer("la.Gram")
+)

@@ -35,18 +35,25 @@ func MatMul(a, b *Dense) *Dense {
 	}
 	out := NewDense(a.rows, b.cols)
 	work := a.rows * a.cols * b.cols
+	sw := mMatMulTimer.Start()
+	mMatMulCalls.Inc()
+	mFlops.Add(2 * int64(work))
 	switch {
 	case a.rows*b.cols <= kSplitMaxOut && a.cols >= kSplitMinK && work >= parallelThreshold:
 		// Skinny product (Xᵀ·X-shaped): k-outer order reads each operand
 		// once and keeps the whole output in cache; parallel over k.
+		mMatMulKSplit.Inc()
 		gemmKSplit(a, b, out)
 	case gemmUseBlocked(a, b.cols):
+		mMatMulBlocked.Inc()
 		gemmBlocked(a, b, out)
 	default:
+		mMatMulStream.Inc()
 		parallelRows(a.rows, work, func(r0, r1 int) {
 			gemmRows(a, b, out, r0, r1)
 		})
 	}
+	sw.Stop()
 	return out
 }
 
@@ -84,6 +91,8 @@ func MatVecInto(dst []float64, m *Dense, x []float64) []float64 {
 	if len(dst) != m.rows {
 		panic(fmt.Sprintf("la: MatVecInto dst len %d for %d rows", len(dst), m.rows))
 	}
+	mMatVecCalls.Inc()
+	mFlops.Add(2 * int64(m.rows) * int64(m.cols))
 	// Direct serial path (not via parallelRows): keeps the closure off the
 	// heap so iterative solvers see zero steady-state allocations.
 	if m.rows*m.cols < parallelThreshold || m.rows < 2 || pool.SerialNow() {
@@ -116,6 +125,8 @@ func VecMatInto(dst []float64, x []float64, m *Dense) []float64 {
 	if len(dst) != m.cols {
 		panic(fmt.Sprintf("la: VecMatInto dst len %d for %d cols", len(dst), m.cols))
 	}
+	mVecMatCalls.Inc()
+	mFlops.Add(2 * int64(m.rows) * int64(m.cols))
 	for j := range dst {
 		dst[j] = 0
 	}
@@ -187,6 +198,10 @@ func GramInto(out *Dense, x *Dense) *Dense {
 	if out.rows != d || out.cols != d {
 		panic(fmt.Sprintf("la: GramInto %dx%d dst for %d cols", out.rows, out.cols, d))
 	}
+	sw := mGramTimer.Start()
+	defer sw.Stop()
+	mGramCalls.Inc()
+	mFlops.Add(int64(x.rows) * int64(d) * int64(d))
 	out.Zero()
 	work := x.rows * d * d
 	if work < parallelThreshold || x.rows < 2 || pool.SerialNow() {

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The whole point of the metrics layer is that instrumented kernels pay
+// (almost) nothing: one atomic load when disabled, a striped atomic add
+// when enabled, and zero heap allocations either way. These pins fail the
+// build the moment an increment path starts allocating — e.g. if the
+// stripe-index stack variable ever escapes.
+
+func pinZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(200, f); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+func TestIncrementPathsDoNotAllocate(t *testing.T) {
+	c := NewCounter("test.alloc.counter")
+	g := NewGauge("test.alloc.gauge")
+	h := NewHistogram("test.alloc.hist")
+	tm := NewTimer("test.alloc.timer")
+
+	for _, mode := range []struct {
+		name string
+		set  func()
+	}{
+		{"disabled", Disable},
+		{"enabled", Enable},
+	} {
+		mode.set()
+		pinZeroAllocs(t, mode.name+"/Counter.Add", func() { c.Add(3) })
+		pinZeroAllocs(t, mode.name+"/Gauge.Set", func() { g.Set(1.5) })
+		pinZeroAllocs(t, mode.name+"/Histogram.Observe", func() { h.Observe(1234) })
+		pinZeroAllocs(t, mode.name+"/Timer.Observe", func() { tm.Observe(time.Microsecond) })
+		pinZeroAllocs(t, mode.name+"/Timer.Start+Stop", func() { tm.Start().Stop() })
+	}
+	Disable()
+	Reset()
+}
+
+// The disabled span path must also be free: no context allocation, no
+// closure, no clock read.
+func TestDisabledSpanDoesNotAllocate(t *testing.T) {
+	Disable()
+	ctx := testCtx{}
+	pinZeroAllocs(t, "disabled/Span", func() {
+		_, end := Span(ctx, "test.alloc.span")
+		end()
+	})
+}
+
+// testCtx is a heap-free context.Context stand-in (context.Background is
+// also alloc-free, but a local type makes the pin self-contained).
+type testCtx struct{}
+
+func (testCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (testCtx) Done() <-chan struct{}       { return nil }
+func (testCtx) Err() error                  { return nil }
+func (testCtx) Value(key any) any           { return nil }

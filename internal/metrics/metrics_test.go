@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs f with collection on, restoring the prior state (and
+// clearing recorded values) afterwards so tests don't leak into each other.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	was := Enabled()
+	Enable()
+	defer func() {
+		if !was {
+			Disable()
+		}
+		Reset()
+	}()
+	f()
+}
+
+func TestCounterParallelIncrements(t *testing.T) {
+	withEnabled(t, func() {
+		c := NewCounter("test.counter.parallel")
+		const goroutines, perG = 16, 10_000
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					c.Inc()
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Value(); got != goroutines*perG {
+			t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+		}
+	})
+}
+
+func TestCounterDisabledIsNoop(t *testing.T) {
+	Disable()
+	c := NewCounter("test.counter.disabled")
+	c.Add(42)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter recorded %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	withEnabled(t, func() {
+		g := NewGauge("test.gauge")
+		g.Set(3.5)
+		g.Set(-1.25)
+		if got := g.Value(); got != -1.25 {
+			t.Fatalf("Value = %v, want -1.25", got)
+		}
+	})
+}
+
+// TestHistogramMerge drives concurrent observers with a known value
+// distribution and checks that the merged snapshot's count, sum, min, max,
+// and per-bucket totals are exact.
+func TestHistogramMerge(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewHistogram("test.hist.merge")
+		const goroutines = 8
+		values := []int64{0, 1, 1, 3, 7, 8, 100, 1023, 1024, 1 << 20}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, v := range values {
+					h.Observe(v)
+				}
+			}()
+		}
+		wg.Wait()
+		snap := h.Snapshot()
+		var wantSum int64
+		for _, v := range values {
+			wantSum += v
+		}
+		if want := int64(goroutines * len(values)); snap.Count != want {
+			t.Errorf("Count = %d, want %d", snap.Count, want)
+		}
+		if want := int64(goroutines) * wantSum; snap.Sum != want {
+			t.Errorf("Sum = %d, want %d", snap.Sum, want)
+		}
+		if snap.Min != 0 || snap.Max != 1<<20 {
+			t.Errorf("Min/Max = %d/%d, want 0/%d", snap.Min, snap.Max, 1<<20)
+		}
+		// Every observation of v lands in bucket bits.Len64(v); check a few
+		// boundary pairs (1023 vs 1024 straddle buckets 10 and 11).
+		wantBuckets := map[int]int64{0: 1, 1: 2, 2: 1, 3: 1, 4: 1, 7: 1, 10: 1, 11: 1, 21: 1}
+		for b, n := range wantBuckets {
+			if got := snap.Buckets[b]; got != n*goroutines {
+				t.Errorf("bucket %d = %d, want %d", b, got, n*goroutines)
+			}
+		}
+		var inBuckets int64
+		for _, n := range snap.Buckets {
+			inBuckets += n
+		}
+		if inBuckets != snap.Count {
+			t.Errorf("bucket total %d != count %d", inBuckets, snap.Count)
+		}
+	})
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewHistogram("test.hist.empty")
+		snap := h.Snapshot()
+		if snap.Count != 0 || snap.Min != 0 || snap.Max != 0 || len(snap.Buckets) != 0 {
+			t.Fatalf("empty snapshot = %+v", snap)
+		}
+	})
+}
+
+func TestTimerParallelObserve(t *testing.T) {
+	withEnabled(t, func() {
+		tm := NewTimer("test.timer.parallel")
+		const goroutines, perG = 8, 1000
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					tm.Observe(time.Microsecond)
+				}
+			}()
+		}
+		wg.Wait()
+		snap := tm.Snapshot()
+		if want := int64(goroutines * perG); snap.Count != want {
+			t.Fatalf("Count = %d, want %d", snap.Count, want)
+		}
+		if want := int64(goroutines*perG) * 1000; snap.TotalNs != want || snap.SelfNs != want {
+			t.Fatalf("Total/Self = %d/%d, want %d", snap.TotalNs, snap.SelfNs, want)
+		}
+	})
+}
+
+// TestSpanParentChild opens a parent span with two child spans and checks
+// the self-time accounting: the parent's self time must exclude the
+// children's wall time, and totals must nest.
+func TestSpanParentChild(t *testing.T) {
+	withEnabled(t, func() {
+		ctx, endParent := Span(context.Background(), "test.span.parent")
+		for i := 0; i < 2; i++ {
+			_, endChild := Span(ctx, "test.span.child")
+			time.Sleep(5 * time.Millisecond)
+			endChild()
+		}
+		endParent()
+
+		parent := NewTimer("test.span.parent").Snapshot()
+		child := NewTimer("test.span.child").Snapshot()
+		if parent.Count != 1 || child.Count != 2 {
+			t.Fatalf("counts = %d/%d, want 1/2", parent.Count, child.Count)
+		}
+		if child.TotalNs < (10 * time.Millisecond).Nanoseconds() {
+			t.Fatalf("children total %dns, want >= 10ms", child.TotalNs)
+		}
+		if parent.TotalNs < child.TotalNs {
+			t.Fatalf("parent total %d < children total %d", parent.TotalNs, child.TotalNs)
+		}
+		if got := parent.TotalNs - parent.SelfNs; got < child.TotalNs {
+			t.Fatalf("parent charged %dns to children, want >= %dns", got, child.TotalNs)
+		}
+	})
+}
+
+func TestSpanDisabled(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	ctx2, end := Span(ctx, "test.span.disabled")
+	end()
+	if ctx2 != ctx {
+		t.Fatal("disabled Span must return ctx unchanged")
+	}
+	if snap := NewTimer("test.span.disabled").Snapshot(); snap.Count != 0 {
+		t.Fatalf("disabled span recorded %d", snap.Count)
+	}
+}
+
+func TestNewIsGetOrCreate(t *testing.T) {
+	if NewCounter("test.dedupe") != NewCounter("test.dedupe") {
+		t.Fatal("NewCounter returned distinct instruments for one name")
+	}
+	if NewTimer("test.dedupe.t") != NewTimer("test.dedupe.t") {
+		t.Fatal("NewTimer returned distinct instruments for one name")
+	}
+}
+
+func TestResetZeroesButKeepsRegistration(t *testing.T) {
+	withEnabled(t, func() {
+		c := NewCounter("test.reset")
+		h := NewHistogram("test.reset.h")
+		c.Add(5)
+		h.Observe(9)
+		Reset()
+		if c.Value() != 0 {
+			t.Fatalf("counter = %d after Reset", c.Value())
+		}
+		if snap := h.Snapshot(); snap.Count != 0 || snap.Min != 0 {
+			t.Fatalf("histogram after Reset = %+v", snap)
+		}
+		c.Add(1)
+		if NewCounter("test.reset").Value() != 1 {
+			t.Fatal("instrument lost registration across Reset")
+		}
+	})
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	withEnabled(t, func() {
+		NewCounter("test.json.counter").Add(7)
+		NewGauge("test.json.gauge").Set(2.5)
+		NewTimer("test.json.timer").Observe(time.Millisecond)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+			t.Fatalf("dump is not valid JSON: %v", err)
+		}
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == "test.json.counter" && c.Value == 7 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("counter missing from dump:\n%s", buf.String())
+		}
+	})
+}
+
+func TestFormatOpsTable(t *testing.T) {
+	ops := []OpStat{
+		{Name: "dml.op.%*%", Count: 3, Total: 8310 * time.Microsecond, Self: 8100 * time.Microsecond},
+		{Name: "dml.op.sum", Count: 10, Total: time.Millisecond, Self: time.Millisecond},
+	}
+	out := FormatOpsTable(ops, 1, 10*time.Millisecond)
+	if !strings.Contains(out, "dml.op.%*%") || strings.Contains(out, "dml.op.sum") {
+		t.Fatalf("top-1 table wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "81.0%") {
+		t.Fatalf("share column wrong:\n%s", out)
+	}
+}
+
+func TestGaugeNaNSurvivesJSON(t *testing.T) {
+	// encoding/json rejects NaN/Inf; gauges must never poison the dump.
+	withEnabled(t, func() {
+		NewGauge("test.json.nan").Set(math.NaN())
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON with NaN gauge: %v", err)
+		}
+	})
+}

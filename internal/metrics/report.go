@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CounterSnapshot is one counter's merged value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's last value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a point-in-time view of every registered instrument, sorted
+// by name so dumps diff cleanly across runs.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Timers     []TimerSnapshot     `json:"timers"`
+}
+
+// TakeSnapshot merges every instrument's stripes into a Snapshot.
+func TakeSnapshot() Snapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	var snap Snapshot
+	for _, name := range sortedNames(registry.counters) {
+		snap.Counters = append(snap.Counters, CounterSnapshot{Name: name, Value: registry.counters[name].Value()})
+	}
+	for _, name := range sortedNames(registry.gauges) {
+		v := registry.gauges[name].Value()
+		// encoding/json rejects NaN/Inf; a single poisoned gauge (0/0
+		// loss, empty-input ratio) must not invalidate the whole dump.
+		if math.IsNaN(v) {
+			v = 0
+		} else if math.IsInf(v, 1) {
+			v = math.MaxFloat64
+		} else if math.IsInf(v, -1) {
+			v = -math.MaxFloat64
+		}
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Name: name, Value: v})
+	}
+	for _, name := range sortedNames(registry.hists) {
+		snap.Histograms = append(snap.Histograms, registry.hists[name].Snapshot())
+	}
+	for _, name := range sortedNames(registry.timers) {
+		snap.Timers = append(snap.Timers, registry.timers[name].Snapshot())
+	}
+	return snap
+}
+
+// WriteJSON writes the full registry snapshot as indented JSON — the
+// `dmmlbench -metrics` dump consumed by the CI bench guard.
+func WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(TakeSnapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// OpStat is one operator row of the -stats table: how often it ran, its
+// cumulative wall time, and its self time (wall time minus child spans).
+type OpStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+	Self  time.Duration
+}
+
+// Ops returns per-operator stats for every timer whose name starts with
+// prefix ("" for all), sorted by self time descending (name-ascending for
+// ties, so equal-cost rows order deterministically). Timers that never
+// fired are omitted.
+func Ops(prefix string) []OpStat {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	var ops []OpStat
+	for name, t := range registry.timers {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		s := t.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		ops = append(ops, OpStat{
+			Name:  name,
+			Count: s.Count,
+			Total: time.Duration(s.TotalNs),
+			Self:  time.Duration(s.SelfNs),
+		})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Self != ops[j].Self {
+			return ops[i].Self > ops[j].Self
+		}
+		return ops[i].Name < ops[j].Name
+	})
+	return ops
+}
+
+// FormatOpsTable renders ops as a SystemML-style heavy-hitter table: rank,
+// operator, call count, self time, total wall time, and self share of
+// denom (typically the whole run's wall time). k bounds the rows (k <= 0
+// prints all).
+//
+//	#  operator            count        self       total   share
+//	1  dml.op.%*%              3      8.10ms      8.31ms   65.9%
+func FormatOpsTable(ops []OpStat, k int, denom time.Duration) string {
+	if k > 0 && len(ops) > k {
+		ops = ops[:k]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-24s %9s %11s %11s %7s\n", "#", "operator", "count", "self", "total", "share")
+	for i, op := range ops {
+		share := 0.0
+		if denom > 0 {
+			share = 100 * float64(op.Self) / float64(denom)
+		}
+		fmt.Fprintf(&b, "%-3d %-24s %9d %11s %11s %6.1f%%\n",
+			i+1, op.Name, op.Count, fmtDur(op.Self), fmtDur(op.Total), share)
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration at fixed ms/µs/ns granularity — stable column
+// widths, unlike time.Duration.String's adaptive units.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

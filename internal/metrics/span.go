@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// span is the in-flight state of one Span call. Pooled: a DML program can
+// open millions of operator spans, and recycling the structs keeps the
+// enabled--stats overhead to the context allocation the API requires.
+type span struct {
+	timer  *Timer
+	parent *span
+	start  time.Time
+	child  time.Duration
+}
+
+var spanPool = sync.Pool{New: func() any { return new(span) }}
+
+// spanKey is the context key carrying the innermost open span.
+type spanKey struct{}
+
+// noopEnd is handed out while collection is disabled so Span never
+// allocates a closure on the disabled path.
+var noopEnd = func() {}
+
+// Span opens a timed span named name (e.g. "la.Gemm", "dml.op.%*%") under
+// whatever span ctx already carries, and returns the child context plus an
+// end function. Ending the span records its wall time into the Timer
+// registered under name and charges the duration to the parent span's
+// child time, so the parent's recorded self time excludes it.
+//
+// End exactly once, on the same goroutine that opened the span; a span
+// tree is per-goroutine (hand work to another goroutine by opening a new
+// root there). While collection is disabled, Span returns ctx unchanged
+// and a shared no-op end, costing one atomic load and zero allocations.
+func Span(ctx context.Context, name string) (context.Context, func()) {
+	if !enabled.Load() {
+		return ctx, noopEnd
+	}
+	s := spanPool.Get().(*span)
+	s.timer = NewTimer(name)
+	s.child = 0
+	s.parent = nil
+	if p, ok := ctx.Value(spanKey{}).(*span); ok {
+		s.parent = p
+	}
+	s.start = time.Now()
+	return context.WithValue(ctx, spanKey{}, s), func() {
+		total := time.Since(s.start)
+		self := total - s.child
+		s.timer.observeSpan(total, self)
+		if s.parent != nil {
+			s.parent.child += total
+		}
+		s.timer, s.parent = nil, nil
+		spanPool.Put(s)
+	}
+}

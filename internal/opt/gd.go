@@ -169,6 +169,9 @@ func GradientDescent(data BulkData, y []float64, loss Loss, cfg GDConfig) (*GDRe
 	step := cfg.Step
 	prev := lossAndGradientInto(data, y, w, loss, cfg.L2, margins, derivs, grad)
 	for it := 0; it < cfg.MaxIter; it++ {
+		epochSW := mGDEpochTimer.Start()
+		mGDEpochs.Inc()
+		mGDLoss.Set(prev)
 		res.History = append(res.History, prev)
 		copy(cand, w)
 		la.Axpy(-step, grad, cand)
@@ -184,6 +187,7 @@ func GradientDescent(data BulkData, y []float64, loss Loss, cfg GDConfig) (*GDRe
 		w, cand = cand, w
 		grad, candGrad = candGrad, grad
 		res.Iters = it + 1
+		epochSW.Stop()
 		if cfg.Tol > 0 && abs(prev-cur) < cfg.Tol {
 			prev = cur
 			break

@@ -1,0 +1,19 @@
+package opt
+
+import "dmml/internal/metrics"
+
+// Observability instruments (no-ops until metrics.Enable). Training is
+// instrumented at epoch granularity: the per-epoch timer histogram shows
+// step-time drift across a run (e.g. a shrinking active set or cache
+// effects), and the loss gauge exposes the current objective so a live
+// dashboard — or a stuck-run investigation — can see convergence without
+// waiting for the fit to return.
+var (
+	mGDEpochTimer = metrics.NewTimer("opt.gd.epoch")
+	mGDLoss       = metrics.NewGauge("opt.gd.loss")
+	mGDEpochs     = metrics.NewCounter("opt.gd.epochs")
+
+	mSGDEpochTimer = metrics.NewTimer("opt.sgd.epoch")
+	mSGDLoss       = metrics.NewGauge("opt.sgd.loss")
+	mSGDEpochs     = metrics.NewCounter("opt.sgd.epochs")
+)

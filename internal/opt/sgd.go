@@ -171,12 +171,17 @@ func SGD(data RowData, y []float64, loss Loss, cfg SGDConfig) (*SGDResult, error
 	order := rng.Perm(n)
 	res := &SGDResult{}
 	for e := 0; e < cfg.Epochs; e++ {
+		epochSW := mSGDEpochTimer.Start()
+		mSGDEpochs.Inc()
 		agg.Step = cfg.Step / (1 + cfg.Decay*float64(e))
 		for _, i := range order {
 			agg.Transition(data.Row(i), y[i])
 		}
 		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
-		res.EpochLoss = append(res.EpochLoss, MeanLoss(data, y, agg.W, loss))
+		epochLoss := MeanLoss(data, y, agg.W, loss)
+		mSGDLoss.Set(epochLoss)
+		epochSW.Stop()
+		res.EpochLoss = append(res.EpochLoss, epochLoss)
 	}
 	res.W = agg.Terminate()
 	return res, nil

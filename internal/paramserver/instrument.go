@@ -1,0 +1,20 @@
+package paramserver
+
+import "dmml/internal/metrics"
+
+// Observability instruments (no-ops until metrics.Enable). The server
+// already keeps per-instance atomic counters for its Stats() API; these
+// fold the same events into the process-wide metrics registry so push/pull
+// latency distributions and fault-path counts land in the one `dmmlbench
+// -metrics` dump alongside the kernel and storage instruments. Latency
+// timers wrap the whole logical operation — retries, backoff sleeps, and
+// injected jitter included — because that is the latency a worker actually
+// experiences.
+var (
+	mPullTimer  = metrics.NewTimer("ps.Pull")
+	mPushTimer  = metrics.NewTimer("ps.Push")
+	mRPCs       = metrics.NewCounter("ps.rpcs")
+	mRetries    = metrics.NewCounter("ps.retries")
+	mTimeouts   = metrics.NewCounter("ps.timeouts")
+	mRecoveries = metrics.NewCounter("ps.recoveries")
+)

@@ -95,6 +95,8 @@ func (s *Server) SetFaults(cfg *FaultConfig) {
 
 // Pull gathers the full model (one emulated RPC per shard).
 func (s *Server) Pull() ([]float64, error) {
+	sw := mPullTimer.Start()
+	defer sw.Stop()
 	out := make([]float64, s.dim)
 	for _, sh := range s.shards {
 		sh := sh
@@ -137,6 +139,8 @@ func (s *Server) push(worker int, seq uint64, delta []float64, scale float64) er
 	if len(delta) != s.dim {
 		return fmt.Errorf("paramserver: push length %d, want %d", len(delta), s.dim)
 	}
+	sw := mPushTimer.Start()
+	defer sw.Stop()
 	for _, sh := range s.shards {
 		part := delta[sh.lo : sh.lo+len(sh.w)]
 		if allZero(part) {
@@ -189,6 +193,7 @@ func (s *Server) callShard(apply func()) error {
 	backoff := s.retry.BaseBackoff
 	for attempt := 0; ; attempt++ {
 		s.rpcs.Add(1)
+		mRPCs.Inc()
 		var fail, ackLoss bool
 		var jitter time.Duration
 		if s.faults != nil {
@@ -205,12 +210,14 @@ func (s *Server) callShard(apply func()) error {
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			s.timeouts.Add(1)
+			mTimeouts.Inc()
 			return fmt.Errorf("%w (%v budget, %d attempts)", ErrOpDeadline, s.retry.Deadline, attempt+1)
 		}
 		if attempt >= s.retry.MaxRetries {
 			return fmt.Errorf("%w (%d attempts)", ErrRPCFailed, attempt+1)
 		}
 		s.retries.Add(1)
+		mRetries.Inc()
 		if backoff > 0 {
 			time.Sleep(backoff)
 		}
@@ -511,6 +518,7 @@ func Train(ps *Server, data opt.RowData, y []float64, loss opt.Loss, cfg TrainCo
 				case errors.Is(err, errKilled) && incarnation < cfg.MaxWorkerRestarts:
 					incarnation++
 					ps.recoveries.Add(1)
+					mRecoveries.Inc()
 					startTick = clock.reenter(id)
 				default:
 					errs[id] = err

@@ -23,6 +23,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dmml/internal/metrics"
+)
+
+// Observability instruments (no-ops until metrics.Enable). Chunk counts are
+// incremented once per claimed chunk — chunks carry ≥ ~16K scalar ops, so
+// even enabled collection is noise next to the work itself. "Steals" are
+// chunks executed by recruited helpers rather than the submitting
+// goroutine: steals/claims is the fraction of work the pool actually
+// offloaded, and helpers-recruited vs do-calls exposes utilization.
+var (
+	mDoCalls    = metrics.NewCounter("pool.do.calls")
+	mDoSerial   = metrics.NewCounter("pool.do.serial")
+	mChunks     = metrics.NewCounter("pool.chunks.claimed")
+	mSteals     = metrics.NewCounter("pool.chunks.stolen")
+	mHelpers    = metrics.NewCounter("pool.helpers.recruited")
+	mQueueDepth = metrics.NewGauge("pool.queue.depth")
 )
 
 // job is one parallel-for: workers claim [lo,hi) chunks off next until n is
@@ -38,8 +55,10 @@ type job struct {
 }
 
 // run claims chunks until the job is drained. Called by at most Workers()
-// goroutines per job, each under a unique slot.
-func (j *job) run() {
+// goroutines per job, each under a unique slot. helper marks recruited
+// workers (as opposed to the goroutine that submitted the job) so stolen
+// chunks can be counted.
+func (j *job) run(helper bool) {
 	slot := int(j.slots.Add(1) - 1)
 	for {
 		lo := j.next.Add(j.grain) - j.grain
@@ -49,6 +68,10 @@ func (j *job) run() {
 		hi := lo + j.grain
 		if hi > j.n {
 			hi = j.n
+		}
+		mChunks.Inc()
+		if helper {
+			mSteals.Inc()
 		}
 		j.fn(slot, int(lo), int(hi))
 	}
@@ -80,7 +103,7 @@ func start() {
 	for i := 0; i < poolSize-1; i++ {
 		go func() {
 			for j := range jobs {
-				j.run()
+				j.run(true)
 				j.wg.Done()
 			}
 		}()
@@ -113,8 +136,10 @@ func Do(n, grain int, fn func(slot, lo, hi int)) {
 		grain = 1
 	}
 	startOnce.Do(start)
+	mDoCalls.Inc()
 	procs := runtime.GOMAXPROCS(0)
 	if procs <= 1 || n <= grain {
+		mDoSerial.Inc()
 		fn(0, 0, n)
 		return
 	}
@@ -135,16 +160,22 @@ func Do(n, grain int, fn func(slot, lo, hi int)) {
 	if c := int((int64(n) + int64(grain) - 1) / int64(grain)); c-1 < maxHelpers {
 		maxHelpers = c - 1
 	}
+	if metrics.Enabled() {
+		mQueueDepth.Set(float64(len(jobs)))
+	}
+	recruited := 0
 	for h := 0; h < maxHelpers; h++ {
 		j.wg.Add(1)
 		select {
 		case jobs <- j:
+			recruited++
 		default:
 			j.wg.Done()
 			h = maxHelpers // no idle helpers; stop offering
 		}
 	}
-	j.run()
+	mHelpers.Add(int64(recruited))
+	j.run(false)
 	j.wg.Wait()
 	j.fn = nil
 	jobPool.Put(j)

@@ -115,6 +115,7 @@ func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
 			return nil, fmt.Errorf("storage: Pin page %v: size %d floats, but resident page holds %d", id, size, len(p.data))
 		}
 		bp.stats.Hits++
+		mBPHits.Inc()
 		p.pinned++
 		p.lastUsed = bp.tick
 		return p.data, nil
@@ -123,6 +124,7 @@ func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
 		return nil, fmt.Errorf("storage: Pin page %v: size %d floats, but page is on disk with %d", id, size, n)
 	}
 	bp.stats.Misses++
+	mBPMisses.Inc()
 	if err := bp.makeRoomLocked(); err != nil {
 		return nil, err
 	}
@@ -134,6 +136,7 @@ func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
 		}
 		p.data = data
 		bp.stats.SpillReads++
+		mBPSpillReads.Inc()
 	} else {
 		p.data = make([]float64, size)
 	}
@@ -225,6 +228,7 @@ func (bp *BufferPool) makeRoomLocked() error {
 		}
 		delete(bp.resident, victim.id)
 		bp.stats.Evictions++
+		mBPEvictions.Inc()
 	}
 	return nil
 }
@@ -248,6 +252,7 @@ func (bp *BufferPool) storeLocked(p *page) error {
 	}
 	bp.onDisk[p.id] = len(p.data)
 	bp.stats.SpillWrites++
+	mBPSpillWrites.Inc()
 	return nil
 }
 

@@ -1,0 +1,16 @@
+package storage
+
+import "dmml/internal/metrics"
+
+// Observability instruments (no-ops until metrics.Enable). Mirrors the
+// per-pool PoolStats counters into the process-wide registry: PoolStats
+// stays the precise per-instance API the out-of-core experiments assert
+// on, while these aggregate across every pool in the process so hit/miss/
+// eviction rates show up in the same dump as the kernels that caused them.
+var (
+	mBPHits        = metrics.NewCounter("storage.bufferpool.hits")
+	mBPMisses      = metrics.NewCounter("storage.bufferpool.misses")
+	mBPEvictions   = metrics.NewCounter("storage.bufferpool.evictions")
+	mBPSpillReads  = metrics.NewCounter("storage.bufferpool.spill.reads")
+	mBPSpillWrites = metrics.NewCounter("storage.bufferpool.spill.writes")
+)
