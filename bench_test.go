@@ -86,6 +86,10 @@ func BenchmarkE14FaultTolerance(b *testing.B) {
 	benchExperiment(b, experiments.E14FaultTolerance)
 }
 
+func BenchmarkE15Fusion(b *testing.B) {
+	benchExperiment(b, experiments.E15Fusion)
+}
+
 func BenchmarkAblationKMeansPruning(b *testing.B) {
 	benchExperiment(b, experiments.EKMeansPruning)
 }

@@ -107,6 +107,7 @@ func run() int {
 		"E12":    experiments.E12ReuseAcrossCV,
 		"E13":    experiments.E13PlannerChoice,
 		"E14":    experiments.E14FaultTolerance,
+		"E15":    experiments.E15Fusion,
 		"E-ABL1": experiments.EKMeansPruning,
 		"E-ABL2": experiments.EColumnCoCoding,
 	}

@@ -44,6 +44,11 @@ type EvalStats struct {
 	Flops float64
 	// CSEHits counts subexpressions answered from the per-statement cache.
 	CSEHits int64
+	// FusedRegions counts fused-template executions (Cell and RowAgg).
+	FusedRegions int64
+	// CellsSaved counts the intermediate matrix cells fusion did NOT
+	// materialize — what an unfused plan would have added to CellsAllocated.
+	CellsSaved int64
 	// Warnings holds the lint findings collected by the static analyzer
 	// pre-pass (errors abort before evaluation and never appear here).
 	Warnings []Diagnostic
@@ -163,7 +168,7 @@ func (e *evaluator) eval(n Node) (Value, error) {
 	// CSE: identical matrix subtrees inside one statement evaluate once.
 	key := ""
 	switch n.(type) {
-	case *BinOp, *Call, *Index:
+	case *BinOp, *Call, *Index, *Fused:
 		key = n.String()
 		if v, ok := e.memo[key]; ok {
 			e.stats.CSEHits++
@@ -223,6 +228,8 @@ func (e *evaluator) evalRaw(n Node) (Value, error) {
 		return e.evalBinOp(t)
 	case *Call:
 		return e.evalCall(t)
+	case *Fused:
+		return e.evalFused(t)
 	case *Index:
 		return e.evalIndex(t)
 	default:
@@ -387,6 +394,82 @@ func (e *evaluator) genericMatMul(l, r Value) (Value, error) {
 		return Matrix(out), nil
 	}
 	return Matrix(la.MatMul(l.M, r.M)), nil
+}
+
+// evalFused executes a fused region: inputs evaluate through the normal
+// (CSE-cached) path, then the compiled micro-op program runs as one pass —
+// a Cell template writes a single output matrix, a RowAgg template reduces
+// with no materialized intermediate at all. Only the final output counts
+// toward CellsAllocated; the intermediates an unfused plan would have
+// materialized accumulate in CellsSaved instead.
+func (e *evaluator) evalFused(n *Fused) (Value, error) {
+	ins := make([]la.FusedInput, len(n.Inputs))
+	rows, cols := -1, -1
+	for i, in := range n.Inputs {
+		v, err := e.eval(in)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			ins[i] = la.ScalarInput(v.S)
+			continue
+		}
+		r, c := v.M.Dims()
+		if rows < 0 {
+			rows, cols = r, c
+		} else if r != rows || c != cols {
+			return Value{}, fmt.Errorf("element-wise op on %dx%d and %dx%d in fused region", rows, cols, r, c)
+		}
+		ins[i] = la.DenseInput(v.M)
+	}
+	if rows < 0 {
+		// Every input turned out scalar at runtime; the region was fused on
+		// static shape information that no longer holds, so evaluate the
+		// original expression instead.
+		return e.eval(n.Body)
+	}
+	prog := n.Prog
+	cells := int64(rows) * int64(cols)
+	e.stats.FusedRegions++
+	e.stats.Flops += float64(prog.ArithOps()) * float64(cells)
+	if n.Kind == FuseCell {
+		out := la.FusedCell(prog, ins, rows, cols)
+		e.allocCells(rows, cols)
+		e.stats.CellsSaved += int64(n.MatOps-1) * cells
+		return Matrix(out), nil
+	}
+	e.stats.CellsSaved += int64(n.MatOps) * cells
+	switch n.Agg {
+	case aggRowSums:
+		out := la.NewDense(rows, 1)
+		la.FusedRowSumsInto(out.RawData(), prog, ins, rows, cols)
+		e.allocCells(rows, 1)
+		return Matrix(out), nil
+	case aggColSums:
+		out := la.NewDense(1, cols)
+		la.FusedColSumsInto(out.RawData(), prog, ins, rows, cols)
+		e.allocCells(1, cols)
+		return Matrix(out), nil
+	case aggMatVec:
+		v, err := e.eval(n.Vec)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return Value{}, fmt.Errorf("%%*%% needs matrices on both sides")
+		}
+		vr, vc := v.M.Dims()
+		if vc != 1 || vr != cols {
+			return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d", rows, cols, vr, vc)
+		}
+		e.stats.Flops += 2 * float64(cells)
+		out := la.NewDense(rows, 1)
+		la.FusedMatVecInto(out.RawData(), prog, ins, rows, cols, v.M.RawData())
+		e.allocCells(rows, 1)
+		return Matrix(out), nil
+	default: // aggSum
+		return Scalar(la.FusedSum(prog, ins, rows, cols)), nil
+	}
 }
 
 func (e *evaluator) evalCall(n *Call) (Value, error) {

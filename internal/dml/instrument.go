@@ -29,6 +29,14 @@ var callSpanNames = map[string]string{
 	"__sumsq": "dml.op.__sumsq", "__tracemm": "dml.op.__tracemm",
 }
 
+// Fused-template span names: the fusion pass emits Fused nodes rather than
+// calls, so they get dedicated names instead of callSpanNames entries. They
+// appear in the -stats heavy-hitter table alongside the builtin operators.
+const (
+	fusedCellSpanName   = "dml.op.fused.cell"
+	fusedRowAggSpanName = "dml.op.fused.rowagg"
+)
+
 // opSpanName returns the span name for a node, or "" for nodes too cheap
 // to time (literals, variable reads).
 func opSpanName(n Node) string {
@@ -47,6 +55,11 @@ func opSpanName(n Node) string {
 		return "dml.op.index"
 	case *Unary:
 		return "dml.op.neg"
+	case *Fused:
+		if t.Kind == FuseCell {
+			return fusedCellSpanName
+		}
+		return fusedRowAggSpanName
 	}
 	return ""
 }

@@ -91,6 +91,10 @@ func freeVars(n Node, into map[string]bool) {
 		for _, a := range t.Args {
 			freeVars(a, into)
 		}
+	case *Fused:
+		// Body subsumes Inputs and Vec: both are subtrees of the original
+		// expression.
+		freeVars(t.Body, into)
 	case *Index:
 		freeVars(t.X, into)
 		if !t.Row.All {

@@ -14,14 +14,35 @@ import (
 // analyzer uses (shapes.go), so anything the analyzer can infer — including
 // sizes that flow through constants, eye(n), nrow/ncol, and indexing — is
 // available to the size-aware rewrites.
+// After the algebraic rewrites, the operator-fusion pass (fuse.go) collapses
+// single-consumer elementwise regions into Cell and RowAgg templates.
 func (p *Program) Optimize(vars map[string]Shape) *Program {
+	return p.optimize(vars, true)
+}
+
+// OptimizeUnfused applies every rewrite except operator fusion; the fusion
+// experiment (E15) uses it as the materializing baseline.
+func (p *Program) OptimizeUnfused(vars map[string]Shape) *Program {
+	return p.optimize(vars, false)
+}
+
+func (p *Program) optimize(vars map[string]Shape, fuse bool) *Program {
+	counter := 0
+	stmts := applyLICM(p.Stmts, &counter)
+	stmts = optimizeStmts(stmts, envFromShapes(vars))
+	if fuse {
+		// Fresh env: optimizeStmts mutated its copy while tracking statements.
+		stmts = fuseStmts(stmts, envFromShapes(vars))
+	}
+	return &Program{Stmts: stmts, Src: p.Src}
+}
+
+func envFromShapes(vars map[string]Shape) absEnv {
 	env := make(absEnv, len(vars))
 	for k, v := range vars {
 		env[k] = binding{shape: absFromShape(v), definite: true}
 	}
-	counter := 0
-	stmts := applyLICM(p.Stmts, &counter)
-	return &Program{Stmts: optimizeStmts(stmts, env), Src: p.Src}
+	return env
 }
 
 // optimizeStmts rewrites a statement list, tracking variable shapes through

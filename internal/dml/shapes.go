@@ -268,6 +268,9 @@ func inferAbs(n Node, env absEnv, h *shapeHooks) AbsShape {
 		return inferCall(t, env, h)
 	case *Index:
 		return inferIndex(t, env, h)
+	case *Fused:
+		// A fused region has exactly the shape of the expression it replaced.
+		return inferAbs(t.Body, env, h)
 	}
 	return topAbs()
 }

@@ -403,7 +403,7 @@ func E14FaultTolerance(quick bool) (Table, error) {
 
 // Order lists experiment ids in EXPERIMENTS.md order.
 var Order = []string{
-	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E-ABL1", "E-ABL2",
+	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E-ABL1", "E-ABL2",
 }
 
 // All runs every experiment, returning tables in EXPERIMENTS.md order.
@@ -423,6 +423,7 @@ func All(quick bool) ([]Table, error) {
 		E12ReuseAcrossCV,
 		E13PlannerChoice,
 		E14FaultTolerance,
+		E15Fusion,
 		EKMeansPruning,
 		EColumnCoCoding,
 	}
@@ -507,5 +508,94 @@ func EColumnCoCoding(quick bool) (Table, error) {
 		})
 	}
 	t.Notes = "co-coding merges correlated pairs: fewer groups, higher ratio, same results"
+	return t, nil
+}
+
+// E15Fusion reproduces the SPOOF operator-fusion shape: fused cell and
+// row-aggregate templates evaluate a whole elementwise region in one pass
+// over the data, eliminating the intermediate matrices a materialized
+// pipeline allocates. Both sides run the full rewrite pipeline (CSE,
+// reordering, LICM); the only difference is the fusion pass, so the deltas
+// isolate fusion itself.
+func E15Fusion(quick bool) (Table, error) {
+	t := Table{
+		ID:     "E15",
+		Title:  "operator fusion: fused cell/row templates vs materialized pipelines (SPOOF)",
+		Header: []string{"expression", "t_unfused", "t_fused", "speedup", "cells_unfused", "cells_fused", "alloc_ratio"},
+	}
+	n := scale(quick, 200000)
+	r := rand.New(rand.NewSource(15000))
+	x, _, _ := workload.Regression(r, n, 20, 0)
+	y, _, _ := workload.Regression(r, n, 20, 0)
+	w, _, _ := workload.Regression(r, 20, 1, 0)
+	labels, _, _ := workload.Regression(r, n, 1, 0)
+	env := dml.Env{
+		"X": dml.Matrix(x), "Y": dml.Matrix(y), "w": dml.Matrix(w), "y2": dml.Matrix(labels),
+	}
+	// A GD loop whose per-iteration elementwise work (sigmoid residual and
+	// weight update) fuses while the matrix-vector products stay as-is.
+	gdSrc := `
+w2 = w * 0
+for (it in 1:8) {
+  g = t(X) %*% (sigmoid(X %*% w2) - y2)
+  w2 = w2 - 0.0001 * g
+}
+sum(w2 ^ 2)`
+	cases := []string{
+		"sigmoid(X * 2 + 1) * X - X / 3",
+		"sum((X - Y) ^ 2)",
+		"rowSums(X * X + Y)",
+		"(X * 2 + Y) %*% w",
+		gdSrc,
+	}
+	rowName := func(src string) string {
+		if src == gdSrc {
+			return "logistic GD loop (fused update)"
+		}
+		return src
+	}
+	reps := 3
+	var totalUn, totalFu int64
+	for _, src := range cases {
+		p, err := dml.Parse(src)
+		if err != nil {
+			return t, err
+		}
+		shapes := dml.ShapesFromEnv(env)
+		unfused := p.OptimizeUnfused(shapes)
+		fused := p.Optimize(shapes)
+
+		var unStats, fuStats *dml.EvalStats
+		start := time.Now()
+		for k := 0; k < reps; k++ {
+			if _, unStats, err = unfused.Run(env); err != nil {
+				return t, err
+			}
+		}
+		tUn := time.Since(start)
+		start = time.Now()
+		for k := 0; k < reps; k++ {
+			if _, fuStats, err = fused.Run(env); err != nil {
+				return t, err
+			}
+		}
+		tFu := time.Since(start)
+		if fuStats.FusedRegions == 0 {
+			return t, fmt.Errorf("experiments: E15: %q compiled without fused regions", rowName(src))
+		}
+		totalUn += unStats.CellsAllocated
+		totalFu += fuStats.CellsAllocated
+		ratio := "inf"
+		if fuStats.CellsAllocated > 0 {
+			ratio = f(float64(unStats.CellsAllocated) / float64(fuStats.CellsAllocated))
+		}
+		t.Rows = append(t.Rows, []string{
+			rowName(src), d(tUn), d(tFu), f(float64(tUn) / float64(tFu)),
+			fmt.Sprint(unStats.CellsAllocated), fmt.Sprint(fuStats.CellsAllocated), ratio,
+		})
+	}
+	t.Notes = fmt.Sprintf(
+		"both sides run CSE/reordering/LICM; fusion cuts intermediate cell allocation %sx overall (%d -> %d cells)",
+		f(float64(totalUn)/float64(totalFu)), totalUn, totalFu)
 	return t, nil
 }

@@ -14,7 +14,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 16 {
+	if len(tables) != 17 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	seen := map[string]bool{}
@@ -259,6 +259,36 @@ func TestE14FaultToleranceShapes(t *testing.T) {
 		faulty := cellFloat(t, tbl, r+1, "final_loss")
 		if math.Abs(faulty-clean) > 0.05*clean {
 			t.Fatalf("%s: faulty loss %v vs fault-free %v (beyond 5%%)", mode, faulty, clean)
+		}
+	}
+}
+
+// Shape check: fusion must cut intermediate cell allocation by at least 3x
+// overall and on every single-expression template row, without fused
+// evaluation being slower than a sanity bound.
+func TestE15FusionShapes(t *testing.T) {
+	tbl, err := E15Fusion(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	var un, fu float64
+	for i := range tbl.Rows {
+		un += cellFloat(t, tbl, i, "cells_unfused")
+		fu += cellFloat(t, tbl, i, "cells_fused")
+	}
+	if un < 3*fu {
+		t.Fatalf("fusion saved only %.2fx cells overall (%v vs %v)", un/fu, un, fu)
+	}
+	// The four single-expression template rows each save ≥3x on their own
+	// (a fully-fused aggregate allocates zero cells; that row trivially passes).
+	for i := 0; i < 4; i++ {
+		unI := cellFloat(t, tbl, i, "cells_unfused")
+		fuI := cellFloat(t, tbl, i, "cells_fused")
+		if fuI > 0 && unI < 3*fuI {
+			t.Fatalf("row %d (%s): fusion saved only %.2fx cells", i, tbl.Rows[i][0], unI/fuI)
 		}
 	}
 }

@@ -85,6 +85,7 @@ func (e *Explorer) Explore(x *la.Dense, y []float64, subsets [][]int) ([]SubsetF
 
 func (e *Explorer) exploreNaive(x *la.Dense, y []float64, subsets [][]int, stats *ExploreStats) ([]SubsetFit, ExploreStats, error) {
 	out := make([]SubsetFit, 0, len(subsets))
+	xty := make([]float64, x.Cols()) // reused across subsets; sliced per size
 	for _, s := range subsets {
 		sub := x.SelectCols(s)
 		stats.DataPasses++ // one scan to build the subset Gram
@@ -92,7 +93,7 @@ func (e *Explorer) exploreNaive(x *la.Dense, y []float64, subsets [][]int, stats
 		for j := range s {
 			g.Set(j, j, g.At(j, j)+e.L2)
 		}
-		c := la.XtY(sub, y)
+		c := la.XtYInto(xty[:len(s)], sub, y)
 		w, err := la.SolveSPD(g, c)
 		if err != nil {
 			return nil, *stats, fmt.Errorf("featureng: subset %v: %w", s, err)

@@ -1,0 +1,852 @@
+package la
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dmml/internal/pool"
+)
+
+// Fused operator pipelines (SPOOF-lite). The DML compiler collapses
+// single-consumer elementwise regions into a postfix micro-op program; this
+// file interprets such programs over row tiles so a whole expression tree
+// makes one pass over its inputs and materializes (at most) one output:
+//
+//   - Cell template: FusedCellInto evaluates the program per element into a
+//     single dst matrix — no intermediate Dense per operator.
+//   - RowAgg template: FusedSum / FusedRowSumsInto / FusedColSumsInto /
+//     FusedMatVecInto reduce the program's virtual result without
+//     materializing it at all.
+//
+// The interpreter is a stack machine whose slots are either scalars or
+// tile-wide vectors. Vector slots live in one pool.GetF64 scratch block per
+// worker, so steady-state fused evaluation allocates nothing. Dense inputs
+// are loaded as zero-copy sub-slices; CSR inputs decompress a tile in
+// O(nnz) time (the zero run between stored entries is a memset, never a
+// per-element walk of the sparse structure), and fully zero-annihilating
+// single-sparse-input aggregations skip the zero cells outright.
+
+// FuseOpCode enumerates the micro-ops of a fused program.
+type FuseOpCode uint8
+
+const (
+	// FuseLoad pushes input Arg (a conformable matrix tile or a scalar).
+	FuseLoad FuseOpCode = iota
+	// FuseConst pushes the literal Val.
+	FuseConst
+	// Binary ops: pop b, pop a, push a∘b.
+	FuseAdd
+	FuseSub
+	FuseMul
+	FuseDiv
+	FusePow
+	// Unary ops: pop a, push f(a).
+	FuseNeg
+	FuseSq
+	FuseExp
+	FuseLog
+	FuseSqrt
+	FuseAbs
+	FuseSigmoid
+)
+
+// FusedOp is one instruction of a postfix fused program.
+type FusedOp struct {
+	Code FuseOpCode
+	Arg  int     // input index for FuseLoad
+	Val  float64 // literal for FuseConst
+}
+
+// FusedInput is one operand of a fused program: a scalar broadcast, a dense
+// matrix, or a CSR sparse matrix. Matrix inputs must all share the logical
+// rows×cols shape passed to the execution entry points.
+type FusedInput struct {
+	IsScalar bool
+	S        float64
+	D        *Dense
+	C        *CSR
+}
+
+// ScalarInput wraps a broadcast scalar operand.
+func ScalarInput(s float64) FusedInput { return FusedInput{IsScalar: true, S: s} }
+
+// DenseInput wraps a dense matrix operand.
+func DenseInput(m *Dense) FusedInput { return FusedInput{D: m} }
+
+// CSRInput wraps a sparse matrix operand.
+func CSRInput(c *CSR) FusedInput { return FusedInput{C: c} }
+
+const (
+	// fusedTileW is the tile width in elements: large enough to amortize
+	// the per-tile dispatch switch, small enough that depth·tile scratch
+	// (and the tile itself) stay L1/L2-resident.
+	fusedTileW = 512
+	// fuseMaxDepth bounds the operand stack; expression trees deeper than
+	// this are rejected at compile time (the DML fuser never builds them).
+	fuseMaxDepth = 16
+)
+
+// FuseProgram is a validated fused micro-op program ready for execution.
+type FuseProgram struct {
+	ops   []FusedOp
+	nin   int // number of inputs
+	depth int // maximum operand-stack depth
+	arith int // arithmetic ops per element (excludes loads/consts)
+}
+
+// CompileFused validates a postfix program over nin inputs: every opcode
+// must be known, stack effects must balance to exactly one result, loads
+// must be in range, and the operand stack must fit the interpreter.
+func CompileFused(ops []FusedOp, nin int) (*FuseProgram, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("la: CompileFused empty program")
+	}
+	depth, maxDepth, arith := 0, 0, 0
+	for i, op := range ops {
+		switch op.Code {
+		case FuseLoad:
+			if op.Arg < 0 || op.Arg >= nin {
+				return nil, fmt.Errorf("la: CompileFused op %d loads input %d of %d", i, op.Arg, nin)
+			}
+			depth++
+		case FuseConst:
+			depth++
+		case FuseAdd, FuseSub, FuseMul, FuseDiv, FusePow:
+			if depth < 2 {
+				return nil, fmt.Errorf("la: CompileFused op %d: binary op on stack depth %d", i, depth)
+			}
+			depth--
+			arith++
+		case FuseNeg, FuseSq, FuseExp, FuseLog, FuseSqrt, FuseAbs, FuseSigmoid:
+			if depth < 1 {
+				return nil, fmt.Errorf("la: CompileFused op %d: unary op on empty stack", i)
+			}
+			arith++
+		default:
+			return nil, fmt.Errorf("la: CompileFused op %d: unknown opcode %d", i, op.Code)
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if depth != 1 {
+		return nil, fmt.Errorf("la: CompileFused leaves %d values on the stack, want 1", depth)
+	}
+	if maxDepth > fuseMaxDepth {
+		return nil, fmt.Errorf("la: CompileFused stack depth %d exceeds %d", maxDepth, fuseMaxDepth)
+	}
+	return &FuseProgram{ops: ops, nin: nin, depth: maxDepth, arith: arith}, nil
+}
+
+// NumInputs returns the number of inputs the program loads from.
+func (p *FuseProgram) NumInputs() int { return p.nin }
+
+// ArithOps returns the arithmetic operations applied per element — the
+// number of intermediate matrices a naive evaluation would materialize.
+func (p *FuseProgram) ArithOps() int { return p.arith }
+
+// fuseSlot is one stack slot: a tile-wide vector (vec != nil) or a scalar.
+type fuseSlot struct {
+	vec []float64
+	s   float64
+}
+
+// fuseCtx is the per-worker interpreter state. Contexts are recycled
+// through a sync.Pool and their vector scratch comes from pool.GetF64, so a
+// steady-state fused loop performs no heap allocation.
+type fuseCtx struct {
+	stack   [fuseMaxDepth]fuseSlot
+	scratch [fuseMaxDepth][]float64
+	buf     []float64
+}
+
+var fuseCtxPool = sync.Pool{New: func() any { return new(fuseCtx) }}
+
+func getFuseCtx(depth int) *fuseCtx {
+	ctx := fuseCtxPool.Get().(*fuseCtx)
+	ctx.buf = pool.GetF64(depth * fusedTileW)
+	for i := 0; i < depth; i++ {
+		ctx.scratch[i] = ctx.buf[i*fusedTileW : (i+1)*fusedTileW]
+	}
+	return ctx
+}
+
+func putFuseCtx(ctx *fuseCtx) {
+	pool.PutF64(ctx.buf)
+	ctx.buf = nil
+	for i := range ctx.scratch {
+		ctx.scratch[i] = nil
+	}
+	for i := range ctx.stack {
+		ctx.stack[i] = fuseSlot{}
+	}
+	fuseCtxPool.Put(ctx)
+}
+
+// evalTile interprets the program over the flat element range [lo,hi) of
+// the logical rows×cols space (hi-lo ≤ fusedTileW). Results of arithmetic
+// ops are written into the scratch slice of their stack position, so a
+// caller may pre-bind scratch[0] to the destination tile and receive the
+// final vector in place.
+func (p *FuseProgram) evalTile(ctx *fuseCtx, ins []FusedInput, cols, lo, hi int) fuseSlot {
+	n := hi - lo
+	stack := &ctx.stack
+	sp := 0
+	for _, op := range p.ops {
+		switch op.Code {
+		case FuseConst:
+			stack[sp] = fuseSlot{s: op.Val}
+			sp++
+		case FuseLoad:
+			in := &ins[op.Arg]
+			switch {
+			case in.IsScalar:
+				stack[sp] = fuseSlot{s: in.S}
+			case in.D != nil:
+				stack[sp] = fuseSlot{vec: in.D.data[lo:hi]}
+			default:
+				dst := ctx.scratch[sp][:n]
+				csrLoadRange(in.C, dst, lo, cols)
+				stack[sp] = fuseSlot{vec: dst}
+			}
+			sp++
+		case FuseAdd, FuseSub, FuseMul, FuseDiv, FusePow:
+			b := stack[sp-1]
+			a := stack[sp-2]
+			sp -= 2
+			if a.vec == nil && b.vec == nil {
+				stack[sp] = fuseSlot{s: fuseScalarBin(op.Code, a.s, b.s)}
+			} else {
+				dst := ctx.scratch[sp][:n]
+				fuseBinInto(op.Code, dst, a, b)
+				stack[sp] = fuseSlot{vec: dst}
+			}
+			sp++
+		default: // unary
+			a := stack[sp-1]
+			if a.vec == nil {
+				stack[sp-1] = fuseSlot{s: fuseScalarUn(op.Code, a.s)}
+			} else {
+				dst := ctx.scratch[sp-1][:n]
+				fuseUnInto(op.Code, dst, a.vec)
+				stack[sp-1] = fuseSlot{vec: dst}
+			}
+		}
+	}
+	return stack[0]
+}
+
+// csrLoadRange decompresses the flat range [lo, lo+len(dst)) of a CSR
+// matrix into dst: one memset plus an O(nnz-in-range) scatter, so the zero
+// runs between stored entries cost a clear rather than per-element work.
+func csrLoadRange(c *CSR, dst []float64, lo, cols int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	hi := lo + len(dst)
+	r1 := (hi + cols - 1) / cols
+	for r := lo / cols; r < r1; r++ {
+		base := r * cols
+		for p := c.rowPtr[r]; p < c.rowPtr[r+1]; p++ {
+			at := base + c.colIdx[p]
+			if at < lo {
+				continue
+			}
+			if at >= hi {
+				break
+			}
+			dst[at-lo] = c.vals[p]
+		}
+	}
+}
+
+func fusedCheckInputs(p *FuseProgram, ins []FusedInput, rows, cols int) {
+	if len(ins) != p.nin {
+		panic(fmt.Sprintf("la: fused program wants %d inputs, got %d", p.nin, len(ins)))
+	}
+	for i, in := range ins {
+		switch {
+		case in.IsScalar:
+		case in.D != nil:
+			if in.D.rows != rows || in.D.cols != cols {
+				panic(fmt.Sprintf("la: fused input %d is %dx%d, want %dx%d", i, in.D.rows, in.D.cols, rows, cols))
+			}
+		case in.C != nil:
+			if in.C.rows != rows || in.C.cols != cols {
+				panic(fmt.Sprintf("la: fused input %d is %dx%d, want %dx%d", i, in.C.rows, in.C.cols, rows, cols))
+			}
+		default:
+			panic(fmt.Sprintf("la: fused input %d is neither scalar nor matrix", i))
+		}
+	}
+}
+
+// FusedCell evaluates the program elementwise into a new rows×cols matrix.
+func FusedCell(p *FuseProgram, ins []FusedInput, rows, cols int) *Dense {
+	return FusedCellInto(NewDense(rows, cols), p, ins)
+}
+
+// FusedCellInto evaluates the program elementwise into out (overwriting it)
+// and returns out. The whole expression tree runs as one pass: each tile of
+// the output is produced by interpreting the micro-ops over stack scratch,
+// with the final operation writing straight into out's storage. Large
+// outputs split their tile sweep across the worker pool; the serial regime
+// allocates nothing.
+func FusedCellInto(out *Dense, p *FuseProgram, ins []FusedInput) *Dense {
+	rows, cols := out.rows, out.cols
+	fusedCheckInputs(p, ins, rows, cols)
+	sw := mFusedCellTimer.Start()
+	defer sw.Stop()
+	mFusedCellCalls.Inc()
+	total := rows * cols
+	mFlops.Add(int64(p.arith) * int64(total))
+	work := total * (p.arith + 1)
+	if work < parallelThreshold || pool.SerialNow() {
+		fusedCellRange(p, ins, out.data, cols, 0, total)
+		return out
+	}
+	nt := (total + fusedTileW - 1) / fusedTileW
+	pool.Do(nt, pool.Grain(nt, fusedTileW*(p.arith+1)), func(_, t0, t1 int) {
+		hi := t1 * fusedTileW
+		if hi > total {
+			hi = total
+		}
+		fusedCellRange(p, ins, out.data, cols, t0*fusedTileW, hi)
+	})
+	return out
+}
+
+func fusedCellRange(p *FuseProgram, ins []FusedInput, dstAll []float64, cols, lo, hi int) {
+	ctx := getFuseCtx(p.depth)
+	for at := lo; at < hi; at += fusedTileW {
+		end := min(at+fusedTileW, hi)
+		dst := dstAll[at:end]
+		// Bind stack position 0 to the output tile: the final op of the
+		// program lands its vector there, so no copy-out pass is needed.
+		ctx.scratch[0] = dst
+		res := p.evalTile(ctx, ins, cols, at, end)
+		switch {
+		case res.vec == nil:
+			for i := range dst {
+				dst[i] = res.s
+			}
+		case &res.vec[0] != &dst[0]:
+			copy(dst, res.vec) // pure-load program: result aliases an input
+		}
+	}
+	putFuseCtx(ctx)
+}
+
+// zeroAnnihilatingCSR reports whether the program has exactly one matrix
+// input, that input is CSR, and the program maps its zero cells to zero —
+// in which case sum-style aggregations only need to visit stored non-zeros.
+func zeroAnnihilatingCSR(p *FuseProgram, ins []FusedInput) (int, bool) {
+	matIdx := -1
+	for i, in := range ins {
+		if in.IsScalar {
+			continue
+		}
+		if in.C == nil || matIdx >= 0 {
+			return -1, false
+		}
+		matIdx = i
+	}
+	if matIdx < 0 {
+		return -1, false
+	}
+	// Abstractly evaluate the program at a zero cell of the sparse input.
+	var stack [fuseMaxDepth]float64
+	sp := 0
+	for _, op := range p.ops {
+		switch op.Code {
+		case FuseConst:
+			stack[sp] = op.Val
+			sp++
+		case FuseLoad:
+			if op.Arg == matIdx {
+				stack[sp] = 0
+			} else {
+				stack[sp] = ins[op.Arg].S
+			}
+			sp++
+		case FuseAdd, FuseSub, FuseMul, FuseDiv, FusePow:
+			sp--
+			stack[sp-1] = fuseScalarBin(op.Code, stack[sp-1], stack[sp])
+		default:
+			stack[sp-1] = fuseScalarUn(op.Code, stack[sp-1])
+		}
+	}
+	return matIdx, stack[0] == 0
+}
+
+// FusedSum reduces the program's virtual rows×cols result to its scalar sum
+// without materializing it. Parallel runs accumulate per-worker partials in
+// pooled scratch; a zero-annihilating program over a single CSR input skips
+// the zero cells entirely and only visits stored non-zeros.
+func FusedSum(p *FuseProgram, ins []FusedInput, rows, cols int) float64 {
+	fusedCheckInputs(p, ins, rows, cols)
+	sw := mFusedAggTimer.Start()
+	defer sw.Stop()
+	mFusedAggCalls.Inc()
+	total := rows * cols
+	if matIdx, ok := zeroAnnihilatingCSR(p, ins); ok {
+		// Re-point the sparse input at a flat dense view of its stored
+		// values: the program runs over nnz elements instead of rows·cols,
+		// and the skipped zero cells contribute exactly 0 to the sum.
+		c := ins[matIdx].C
+		if c.NNZ() == 0 {
+			return 0
+		}
+		mFusedSparseSkips.Inc()
+		shadow := make([]FusedInput, len(ins))
+		copy(shadow, ins)
+		shadow[matIdx] = FusedInput{D: &Dense{rows: 1, cols: c.NNZ(), data: c.vals}}
+		ins, cols, total = shadow, c.NNZ(), c.NNZ()
+	}
+	mFlops.Add(int64(p.arith+1) * int64(total))
+	work := total * (p.arith + 1)
+	if work < parallelThreshold || pool.SerialNow() {
+		return fusedSumRange(p, ins, cols, 0, total)
+	}
+	// Per-slot scalar partials, stride 8 to keep workers off a shared line.
+	partials := pool.GetF64Zeroed(pool.Workers() * 8)
+	nt := (total + fusedTileW - 1) / fusedTileW
+	pool.Do(nt, pool.Grain(nt, fusedTileW*(p.arith+1)), func(slot, t0, t1 int) {
+		hi := t1 * fusedTileW
+		if hi > total {
+			hi = total
+		}
+		partials[slot*8] += fusedSumRange(p, ins, cols, t0*fusedTileW, hi)
+	})
+	var s float64
+	for i := 0; i < len(partials); i += 8 {
+		s += partials[i]
+	}
+	pool.PutF64(partials)
+	return s
+}
+
+func fusedSumRange(p *FuseProgram, ins []FusedInput, cols, lo, hi int) float64 {
+	ctx := getFuseCtx(p.depth)
+	var s float64
+	for at := lo; at < hi; at += fusedTileW {
+		end := min(at+fusedTileW, hi)
+		res := p.evalTile(ctx, ins, cols, at, end)
+		if res.vec == nil {
+			s += res.s * float64(end-at)
+		} else {
+			s += fuseSumVec(res.vec)
+		}
+	}
+	putFuseCtx(ctx)
+	return s
+}
+
+// FusedRowSumsInto reduces each virtual row of the program's result to its
+// sum, writing dst[i] for row i. dst must have length rows. Rows split
+// across the pool with disjoint writes; nothing is materialized.
+func FusedRowSumsInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, cols int) []float64 {
+	return fusedRowVec(dst, p, ins, rows, cols, nil)
+}
+
+// FusedMatVecInto computes (program result) × v into dst without
+// materializing the matrix. dst must have length rows and v length cols.
+func FusedMatVecInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, cols int, v []float64) []float64 {
+	if len(v) != cols {
+		panic(fmt.Sprintf("la: FusedMatVecInto v len %d for %d cols", len(v), cols))
+	}
+	return fusedRowVec(dst, p, ins, rows, cols, v)
+}
+
+func fusedRowVec(dst []float64, p *FuseProgram, ins []FusedInput, rows, cols int, v []float64) []float64 {
+	fusedCheckInputs(p, ins, rows, cols)
+	if len(dst) != rows {
+		panic(fmt.Sprintf("la: fused row aggregate dst len %d for %d rows", len(dst), rows))
+	}
+	sw := mFusedAggTimer.Start()
+	defer sw.Stop()
+	mFusedAggCalls.Inc()
+	mFlops.Add(int64(p.arith+1) * int64(rows) * int64(cols))
+	work := rows * cols * (p.arith + 1)
+	if work < parallelThreshold || rows < 2 || pool.SerialNow() {
+		fusedRowVecRange(p, ins, cols, v, dst, 0, rows)
+		return dst
+	}
+	pool.Do(rows, pool.Grain(rows, cols*(p.arith+1)), func(_, r0, r1 int) {
+		fusedRowVecRange(p, ins, cols, v, dst, r0, r1)
+	})
+	return dst
+}
+
+// fusedRowVecRange fills dst[r0:r1) with per-row sums (v == nil) or row·v
+// dot products. Narrow matrices batch several rows per interpreted tile so
+// dispatch overhead amortizes; wide rows chunk along columns instead.
+func fusedRowVecRange(p *FuseProgram, ins []FusedInput, cols int, v, dst []float64, r0, r1 int) {
+	ctx := getFuseCtx(p.depth)
+	if cols <= fusedTileW {
+		rowsPerTile := fusedTileW / cols
+		if rowsPerTile < 1 {
+			rowsPerTile = 1
+		}
+		for r := r0; r < r1; r += rowsPerTile {
+			rEnd := min(r+rowsPerTile, r1)
+			res := p.evalTile(ctx, ins, cols, r*cols, rEnd*cols)
+			if res.vec == nil {
+				base := res.s * float64(cols)
+				if v != nil {
+					base = res.s * fuseSumVec(v)
+				}
+				for i := r; i < rEnd; i++ {
+					dst[i] = base
+				}
+			} else {
+				for i := r; i < rEnd; i++ {
+					seg := res.vec[(i-r)*cols : (i-r+1)*cols]
+					if v == nil {
+						dst[i] = fuseSumVec(seg)
+					} else {
+						dst[i] = Dot(seg, v)
+					}
+				}
+			}
+		}
+	} else {
+		for i := r0; i < r1; i++ {
+			var s float64
+			for c0 := 0; c0 < cols; c0 += fusedTileW {
+				c1 := min(c0+fusedTileW, cols)
+				res := p.evalTile(ctx, ins, cols, i*cols+c0, i*cols+c1)
+				switch {
+				case res.vec == nil && v == nil:
+					s += res.s * float64(c1-c0)
+				case res.vec == nil:
+					s += res.s * fuseSumVec(v[c0:c1])
+				case v == nil:
+					s += fuseSumVec(res.vec)
+				default:
+					s += Dot(res.vec, v[c0:c1])
+				}
+			}
+			dst[i] = s
+		}
+	}
+	putFuseCtx(ctx)
+}
+
+// FusedColSumsInto reduces each virtual column of the program's result to
+// its sum. dst must have length cols. Parallel runs merge per-worker
+// partial vectors drawn from pooled scratch.
+func FusedColSumsInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, cols int) []float64 {
+	fusedCheckInputs(p, ins, rows, cols)
+	if len(dst) != cols {
+		panic(fmt.Sprintf("la: FusedColSumsInto dst len %d for %d cols", len(dst), cols))
+	}
+	sw := mFusedAggTimer.Start()
+	defer sw.Stop()
+	mFusedAggCalls.Inc()
+	mFlops.Add(int64(p.arith+1) * int64(rows) * int64(cols))
+	for j := range dst {
+		dst[j] = 0
+	}
+	work := rows * cols * (p.arith + 1)
+	if work < parallelThreshold || rows < 2 || pool.SerialNow() {
+		fusedColSumsRange(p, ins, cols, dst, 0, rows)
+		return dst
+	}
+	partials := make([][]float64, pool.Workers())
+	partials[0] = dst
+	pool.Do(rows, pool.Grain(rows, cols*(p.arith+1)), func(slot, r0, r1 int) {
+		acc := partials[slot]
+		if acc == nil {
+			acc = pool.GetF64Zeroed(cols)
+			partials[slot] = acc
+		}
+		fusedColSumsRange(p, ins, cols, acc, r0, r1)
+	})
+	for _, part := range partials[1:] {
+		if part != nil {
+			Axpy(1, part, dst)
+			pool.PutF64(part)
+		}
+	}
+	return dst
+}
+
+func fusedColSumsRange(p *FuseProgram, ins []FusedInput, cols int, acc []float64, r0, r1 int) {
+	ctx := getFuseCtx(p.depth)
+	if cols <= fusedTileW {
+		rowsPerTile := fusedTileW / cols
+		if rowsPerTile < 1 {
+			rowsPerTile = 1
+		}
+		for r := r0; r < r1; r += rowsPerTile {
+			rEnd := min(r+rowsPerTile, r1)
+			res := p.evalTile(ctx, ins, cols, r*cols, rEnd*cols)
+			if res.vec == nil {
+				add := res.s * float64(rEnd-r)
+				for j := range acc {
+					acc[j] += add
+				}
+			} else {
+				for i := 0; i < rEnd-r; i++ {
+					Axpy(1, res.vec[i*cols:(i+1)*cols], acc)
+				}
+			}
+		}
+	} else {
+		for i := r0; i < r1; i++ {
+			for c0 := 0; c0 < cols; c0 += fusedTileW {
+				c1 := min(c0+fusedTileW, cols)
+				res := p.evalTile(ctx, ins, cols, i*cols+c0, i*cols+c1)
+				if res.vec == nil {
+					for j := c0; j < c1; j++ {
+						acc[j] += res.s
+					}
+				} else {
+					Axpy(1, res.vec, acc[c0:c1])
+				}
+			}
+		}
+	}
+	putFuseCtx(ctx)
+}
+
+// fuseSumVec sums a tile with a 4-way unrolled accumulator chain.
+func fuseSumVec(x []float64) float64 {
+	var s, s0, s1, s2, s3 float64
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i]
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	for ; i < n; i++ {
+		s += x[i]
+	}
+	return s + s0 + s1 + s2 + s3
+}
+
+func fuseScalarBin(code FuseOpCode, a, b float64) float64 {
+	switch code {
+	case FuseAdd:
+		return a + b
+	case FuseSub:
+		return a - b
+	case FuseMul:
+		return a * b
+	case FuseDiv:
+		return a / b
+	default: // FusePow
+		return math.Pow(a, b)
+	}
+}
+
+func fuseScalarUn(code FuseOpCode, a float64) float64 {
+	switch code {
+	case FuseNeg:
+		return -a
+	case FuseSq:
+		return a * a
+	case FuseExp:
+		return math.Exp(a)
+	case FuseLog:
+		return math.Log(a)
+	case FuseSqrt:
+		return math.Sqrt(a)
+	case FuseAbs:
+		return math.Abs(a)
+	default: // FuseSigmoid
+		return fuseSigmoid(a)
+	}
+}
+
+// fuseSigmoid mirrors opt.Sigmoid's numerically stable form exactly so
+// fused and unfused evaluation agree bit for bit (la cannot import opt).
+func fuseSigmoid(m float64) float64 {
+	if m >= 0 {
+		return 1 / (1 + math.Exp(-m))
+	}
+	e := math.Exp(m)
+	return e / (1 + e)
+}
+
+// fuseBinInto applies a binary micro-op over a tile. The hot vector-vector
+// and vector-scalar adds/subs/muls are 4-way unrolled like Dot; dst may
+// alias a (in-place update of the same stack position).
+func fuseBinInto(code FuseOpCode, dst []float64, a, b fuseSlot) {
+	switch {
+	case a.vec != nil && b.vec != nil:
+		x, y := a.vec[:len(dst)], b.vec[:len(dst)]
+		switch code {
+		case FuseAdd:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = x[i] + y[i]
+				dst[i+1] = x[i+1] + y[i+1]
+				dst[i+2] = x[i+2] + y[i+2]
+				dst[i+3] = x[i+3] + y[i+3]
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = x[i] + y[i]
+			}
+		case FuseSub:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = x[i] - y[i]
+				dst[i+1] = x[i+1] - y[i+1]
+				dst[i+2] = x[i+2] - y[i+2]
+				dst[i+3] = x[i+3] - y[i+3]
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = x[i] - y[i]
+			}
+		case FuseMul:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = x[i] * y[i]
+				dst[i+1] = x[i+1] * y[i+1]
+				dst[i+2] = x[i+2] * y[i+2]
+				dst[i+3] = x[i+3] * y[i+3]
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = x[i] * y[i]
+			}
+		case FuseDiv:
+			for i := range dst {
+				dst[i] = x[i] / y[i]
+			}
+		default: // FusePow
+			for i := range dst {
+				dst[i] = math.Pow(x[i], y[i])
+			}
+		}
+	case a.vec != nil:
+		x, s := a.vec[:len(dst)], b.s
+		switch code {
+		case FuseAdd:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = x[i] + s
+				dst[i+1] = x[i+1] + s
+				dst[i+2] = x[i+2] + s
+				dst[i+3] = x[i+3] + s
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = x[i] + s
+			}
+		case FuseSub:
+			for i := range dst {
+				dst[i] = x[i] - s
+			}
+		case FuseMul:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = x[i] * s
+				dst[i+1] = x[i+1] * s
+				dst[i+2] = x[i+2] * s
+				dst[i+3] = x[i+3] * s
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = x[i] * s
+			}
+		case FuseDiv:
+			for i := range dst {
+				dst[i] = x[i] / s
+			}
+		default: // FusePow
+			for i := range dst {
+				dst[i] = math.Pow(x[i], s)
+			}
+		}
+	default: // scalar ∘ vector
+		s, y := a.s, b.vec[:len(dst)]
+		switch code {
+		case FuseAdd:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = s + y[i]
+				dst[i+1] = s + y[i+1]
+				dst[i+2] = s + y[i+2]
+				dst[i+3] = s + y[i+3]
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = s + y[i]
+			}
+		case FuseSub:
+			for i := range dst {
+				dst[i] = s - y[i]
+			}
+		case FuseMul:
+			i := 0
+			for ; i+4 <= len(dst); i += 4 {
+				dst[i] = s * y[i]
+				dst[i+1] = s * y[i+1]
+				dst[i+2] = s * y[i+2]
+				dst[i+3] = s * y[i+3]
+			}
+			for ; i < len(dst); i++ {
+				dst[i] = s * y[i]
+			}
+		case FuseDiv:
+			for i := range dst {
+				dst[i] = s / y[i]
+			}
+		default: // FusePow
+			for i := range dst {
+				dst[i] = math.Pow(s, y[i])
+			}
+		}
+	}
+}
+
+// fuseUnInto applies a unary micro-op over a tile; dst may alias x.
+func fuseUnInto(code FuseOpCode, dst, x []float64) {
+	x = x[:len(dst)]
+	switch code {
+	case FuseNeg:
+		i := 0
+		for ; i+4 <= len(dst); i += 4 {
+			dst[i] = -x[i]
+			dst[i+1] = -x[i+1]
+			dst[i+2] = -x[i+2]
+			dst[i+3] = -x[i+3]
+		}
+		for ; i < len(dst); i++ {
+			dst[i] = -x[i]
+		}
+	case FuseSq:
+		i := 0
+		for ; i+4 <= len(dst); i += 4 {
+			dst[i] = x[i] * x[i]
+			dst[i+1] = x[i+1] * x[i+1]
+			dst[i+2] = x[i+2] * x[i+2]
+			dst[i+3] = x[i+3] * x[i+3]
+		}
+		for ; i < len(dst); i++ {
+			dst[i] = x[i] * x[i]
+		}
+	case FuseExp:
+		for i := range dst {
+			dst[i] = math.Exp(x[i])
+		}
+	case FuseLog:
+		for i := range dst {
+			dst[i] = math.Log(x[i])
+		}
+	case FuseSqrt:
+		for i := range dst {
+			dst[i] = math.Sqrt(x[i])
+		}
+	case FuseAbs:
+		for i := range dst {
+			dst[i] = math.Abs(x[i])
+		}
+	default: // FuseSigmoid
+		for i := range dst {
+			dst[i] = fuseSigmoid(x[i])
+		}
+	}
+}

@@ -1,0 +1,517 @@
+package la
+
+// Fused-pipeline properties: the tile-interpreted Cell and RowAgg templates
+// must agree with a naive op-by-op materializing reference, at GOMAXPROCS=1
+// and N, serial and forced-parallel, over dense, scalar, and CSR inputs —
+// and the Into variants must hold the engine's zero-allocation contract.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmml/internal/pool"
+)
+
+// refFused evaluates a fused program the way the unfused evaluator would:
+// one fully materialized rows·cols buffer per operation.
+func refFused(p *FuseProgram, ins []FusedInput, rows, cols int) []float64 {
+	n := rows * cols
+	type slot struct {
+		vec []float64
+		s   float64
+		isS bool
+	}
+	var stack []slot
+	for _, op := range p.ops {
+		switch op.Code {
+		case FuseConst:
+			stack = append(stack, slot{s: op.Val, isS: true})
+		case FuseLoad:
+			in := ins[op.Arg]
+			switch {
+			case in.IsScalar:
+				stack = append(stack, slot{s: in.S, isS: true})
+			case in.D != nil:
+				stack = append(stack, slot{vec: append([]float64(nil), in.D.data...)})
+			default:
+				stack = append(stack, slot{vec: append([]float64(nil), in.C.ToDense().data...)})
+			}
+		case FuseAdd, FuseSub, FuseMul, FuseDiv, FusePow:
+			b := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if a.isS && b.isS {
+				stack = append(stack, slot{s: fuseScalarBin(op.Code, a.s, b.s), isS: true})
+				continue
+			}
+			out := make([]float64, n)
+			for i := range out {
+				av, bv := a.s, b.s
+				if !a.isS {
+					av = a.vec[i]
+				}
+				if !b.isS {
+					bv = b.vec[i]
+				}
+				out[i] = fuseScalarBin(op.Code, av, bv)
+			}
+			stack = append(stack, slot{vec: out})
+		default:
+			a := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if a.isS {
+				stack = append(stack, slot{s: fuseScalarUn(op.Code, a.s), isS: true})
+				continue
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = fuseScalarUn(op.Code, a.vec[i])
+			}
+			stack = append(stack, slot{vec: out})
+		}
+	}
+	res := stack[0]
+	if res.isS {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = res.s
+		}
+		return out
+	}
+	return res.vec
+}
+
+// genFusedCase builds a random valid program plus matching random inputs:
+// dense, CSR-sparse, and scalar operands in random positions.
+func genFusedCase(rr *rand.Rand, rows, cols int) (*FuseProgram, []FusedInput) {
+	nin := 1 + rr.Intn(4)
+	ins := make([]FusedInput, nin)
+	for i := range ins {
+		switch rr.Intn(4) {
+		case 0:
+			ins[i] = ScalarInput(rr.NormFloat64())
+		case 1:
+			ins[i] = CSRInput(CSRFromDense(randMat(rr, rows, cols, 0.8)))
+		default:
+			ins[i] = DenseInput(randMat(rr, rows, cols, 0.3))
+		}
+	}
+	// Random postfix program with tracked depth: a leaf when shallow,
+	// otherwise a mix of leaves, unary ops, and binary folds.
+	var ops []FusedOp
+	depth := 0
+	// Safe unary ops only: exp/log/sqrt on arbitrary reals produce
+	// NaN/Inf, which compare fine but make tolerances meaningless.
+	unary := []FuseOpCode{FuseNeg, FuseSq, FuseAbs, FuseSigmoid}
+	binary := []FuseOpCode{FuseAdd, FuseSub, FuseMul}
+	leaf := func() {
+		if rr.Intn(5) == 0 {
+			ops = append(ops, FusedOp{Code: FuseConst, Val: rr.NormFloat64()})
+		} else {
+			ops = append(ops, FusedOp{Code: FuseLoad, Arg: rr.Intn(nin)})
+		}
+		depth++
+	}
+	leaf()
+	steps := 2 + rr.Intn(10)
+	for s := 0; s < steps; s++ {
+		switch {
+		case depth >= 2 && rr.Intn(2) == 0:
+			ops = append(ops, FusedOp{Code: binary[rr.Intn(len(binary))]})
+			depth--
+		case rr.Intn(3) == 0:
+			ops = append(ops, FusedOp{Code: unary[rr.Intn(len(unary))]})
+		case depth < fuseMaxDepth-1:
+			leaf()
+		}
+	}
+	for depth > 1 {
+		ops = append(ops, FusedOp{Code: binary[rr.Intn(len(binary))]})
+		depth--
+	}
+	p, err := CompileFused(ops, nin)
+	if err != nil {
+		panic(err)
+	}
+	return p, ins
+}
+
+func closeSlices(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFusedCellEquivalence: the tiled stack machine against the
+// materializing reference over random programs and input mixes, on both the
+// serial path and the forced-parallel pool path.
+func TestFusedCellEquivalence(t *testing.T) {
+	oldThresh := parallelThreshold
+	parallelThreshold = 1
+	defer func() { parallelThreshold = oldThresh }()
+
+	r := rand.New(rand.NewSource(21))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows := 1 + rr.Intn(40)
+		cols := 1 + rr.Intn(40)
+		p, ins := genFusedCase(rr, rows, cols)
+		want := refFused(p, ins, rows, cols)
+		got := FusedCell(p, ins, rows, cols)
+		if !closeSlices(got.data, want, 1e-12*float64(p.arith+1)) {
+			t.Logf("cell mismatch at %dx%d, %d ops", rows, cols, len(p.ops))
+			return false
+		}
+		return true
+	}
+	eachProcs(func() {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: r}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestFusedAggEquivalence: every RowAgg reduction (sum, rowSums, colSums,
+// matrix-vector) against reductions of the materialized reference.
+func TestFusedAggEquivalence(t *testing.T) {
+	oldThresh := parallelThreshold
+	parallelThreshold = 1
+	defer func() { parallelThreshold = oldThresh }()
+
+	r := rand.New(rand.NewSource(22))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows := 1 + rr.Intn(40)
+		cols := 1 + rr.Intn(40)
+		p, ins := genFusedCase(rr, rows, cols)
+		ref := refFused(p, ins, rows, cols)
+		tol := tolFor(rows*cols) * float64(p.arith+1)
+
+		var wantSum float64
+		for _, v := range ref {
+			wantSum += v
+		}
+		if got := FusedSum(p, ins, rows, cols); math.Abs(got-wantSum) > tol {
+			t.Logf("sum mismatch at %dx%d: %g vs %g", rows, cols, got, wantSum)
+			return false
+		}
+
+		wantRow := make([]float64, rows)
+		wantCol := make([]float64, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				wantRow[i] += ref[i*cols+j]
+				wantCol[j] += ref[i*cols+j]
+			}
+		}
+		if got := FusedRowSumsInto(make([]float64, rows), p, ins, rows, cols); !closeSlices(got, wantRow, tol) {
+			t.Logf("rowSums mismatch at %dx%d", rows, cols)
+			return false
+		}
+		if got := FusedColSumsInto(make([]float64, cols), p, ins, rows, cols); !closeSlices(got, wantCol, tol) {
+			t.Logf("colSums mismatch at %dx%d", rows, cols)
+			return false
+		}
+
+		v := make([]float64, cols)
+		for j := range v {
+			v[j] = rr.NormFloat64()
+		}
+		wantMV := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				wantMV[i] += ref[i*cols+j] * v[j]
+			}
+		}
+		if got := FusedMatVecInto(make([]float64, rows), p, ins, rows, cols, v); !closeSlices(got, wantMV, tol*10) {
+			t.Logf("matvec mismatch at %dx%d", rows, cols)
+			return false
+		}
+		return true
+	}
+	eachProcs(func() {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: r}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestFusedWideRows drives the cols > fusedTileW column-chunking path.
+func TestFusedWideRows(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	rows, cols := 3, fusedTileW*2+37
+	x := randMat(r, rows, cols, 0.5)
+	// (x * 2) + 1
+	p, err := CompileFused([]FusedOp{
+		{Code: FuseLoad, Arg: 0},
+		{Code: FuseConst, Val: 2},
+		{Code: FuseMul},
+		{Code: FuseConst, Val: 1},
+		{Code: FuseAdd},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []FusedInput{DenseInput(x)}
+	ref := refFused(p, ins, rows, cols)
+	tol := tolFor(cols)
+	if got := FusedCell(p, ins, rows, cols); !closeSlices(got.data, ref, 1e-12) {
+		t.Error("wide cell mismatch")
+	}
+	wantRow := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			wantRow[i] += ref[i*cols+j]
+		}
+	}
+	if got := FusedRowSumsInto(make([]float64, rows), p, ins, rows, cols); !closeSlices(got, wantRow, tol) {
+		t.Error("wide rowSums mismatch")
+	}
+	wantCol := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			wantCol[j] += ref[i*cols+j]
+		}
+	}
+	if got := FusedColSumsInto(make([]float64, cols), p, ins, rows, cols); !closeSlices(got, wantCol, tol) {
+		t.Error("wide colSums mismatch")
+	}
+}
+
+// TestFusedSparseFastPath: a zero-annihilating program over a single CSR
+// input must take the nnz-only path and still match the dense reference; a
+// non-annihilating program (x+1 maps zeros to 1) must not.
+func TestFusedSparseFastPath(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	d := randMat(r, 60, 50, 0.9)
+	c := CSRFromDense(d)
+
+	// sum((3*x)^2) annihilates zeros.
+	sq, err := CompileFused([]FusedOp{
+		{Code: FuseConst, Val: 3},
+		{Code: FuseLoad, Arg: 0},
+		{Code: FuseMul},
+		{Code: FuseSq},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []FusedInput{CSRInput(c)}
+	if idx, ok := zeroAnnihilatingCSR(sq, ins); !ok || idx != 0 {
+		t.Fatalf("zeroAnnihilatingCSR((3x)^2) = %d,%v, want 0,true", idx, ok)
+	}
+	var want float64
+	for _, v := range d.data {
+		want += (3 * v) * (3 * v)
+	}
+	if got := FusedSum(sq, ins, 60, 50); math.Abs(got-want) > tolFor(60*50) {
+		t.Errorf("sparse FusedSum = %g, want %g", got, want)
+	}
+
+	// x+1 does not annihilate zeros: the fast path must be rejected.
+	add1, err := CompileFused([]FusedOp{
+		{Code: FuseLoad, Arg: 0},
+		{Code: FuseConst, Val: 1},
+		{Code: FuseAdd},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := zeroAnnihilatingCSR(add1, ins); ok {
+		t.Error("zeroAnnihilatingCSR(x+1) = true, want false")
+	}
+	if got, want := FusedSum(add1, ins, 60, 50), d.Sum()+60*50; math.Abs(got-want) > tolFor(60*50) {
+		t.Errorf("dense-path FusedSum = %g, want %g", got, want)
+	}
+
+	// Two matrix inputs: no single-sparse fast path even if annihilating.
+	mul2, err := CompileFused([]FusedOp{
+		{Code: FuseLoad, Arg: 0},
+		{Code: FuseLoad, Arg: 1},
+		{Code: FuseMul},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := []FusedInput{CSRInput(c), CSRInput(c)}
+	if _, ok := zeroAnnihilatingCSR(mul2, two); ok {
+		t.Error("zeroAnnihilatingCSR with two matrix inputs = true, want false")
+	}
+}
+
+// TestCompileFusedRejects: malformed programs fail compilation instead of
+// corrupting the interpreter stack.
+func TestCompileFusedRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []FusedOp
+		nin  int
+	}{
+		{"empty", nil, 0},
+		{"underflow-binary", []FusedOp{{Code: FuseLoad}, {Code: FuseAdd}}, 1},
+		{"underflow-unary", []FusedOp{{Code: FuseNeg}}, 0},
+		{"leftover", []FusedOp{{Code: FuseLoad}, {Code: FuseLoad}}, 1},
+		{"bad-input", []FusedOp{{Code: FuseLoad, Arg: 2}}, 1},
+		{"bad-opcode", []FusedOp{{Code: 250}}, 0},
+	}
+	for _, tc := range cases {
+		if _, err := CompileFused(tc.ops, tc.nin); err == nil {
+			t.Errorf("CompileFused(%s) succeeded, want error", tc.name)
+		}
+	}
+	deep := make([]FusedOp, 0, fuseMaxDepth+2)
+	for i := 0; i < fuseMaxDepth+1; i++ {
+		deep = append(deep, FusedOp{Code: FuseConst, Val: 1})
+	}
+	for i := 0; i < fuseMaxDepth; i++ {
+		deep = append(deep, FusedOp{Code: FuseAdd})
+	}
+	if _, err := CompileFused(deep, 0); err == nil {
+		t.Error("CompileFused(too deep) succeeded, want error")
+	}
+}
+
+// TestFusedZeroAllocSteadyState pins the scratch-reuse contract: after
+// warmup, fused Cell-into and RowAgg calls allocate nothing in the serial
+// regime — the whole point of running a GD loop fused.
+func TestFusedZeroAllocSteadyState(t *testing.T) {
+	withGOMAXPROCS(1, func() {
+		r := rand.New(rand.NewSource(25))
+		rows, cols := 500, 60
+		x := randMat(r, rows, cols, 0)
+		y := randMat(r, rows, cols, 0)
+		out := NewDense(rows, cols)
+		v := make([]float64, cols)
+		rowDst := make([]float64, rows)
+		colDst := make([]float64, cols)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		// (x - y) * 0.5 fused cell; sum((x-y)^2) and (x-y)·v row aggregates.
+		cell, err := CompileFused([]FusedOp{
+			{Code: FuseLoad, Arg: 0},
+			{Code: FuseLoad, Arg: 1},
+			{Code: FuseSub},
+			{Code: FuseConst, Val: 0.5},
+			{Code: FuseMul},
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := CompileFused([]FusedOp{
+			{Code: FuseLoad, Arg: 0},
+			{Code: FuseLoad, Arg: 1},
+			{Code: FuseSub},
+			{Code: FuseSq},
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins := []FusedInput{DenseInput(x), DenseInput(y)}
+		if a := testing.AllocsPerRun(50, func() { FusedCellInto(out, cell, ins) }); a != 0 {
+			t.Errorf("FusedCellInto allocates %v per run, want 0", a)
+		}
+		if a := testing.AllocsPerRun(50, func() { FusedSum(agg, ins, rows, cols) }); a != 0 {
+			t.Errorf("FusedSum allocates %v per run, want 0", a)
+		}
+		if a := testing.AllocsPerRun(50, func() { FusedRowSumsInto(rowDst, agg, ins, rows, cols) }); a != 0 {
+			t.Errorf("FusedRowSumsInto allocates %v per run, want 0", a)
+		}
+		if a := testing.AllocsPerRun(50, func() { FusedColSumsInto(colDst, agg, ins, rows, cols) }); a != 0 {
+			t.Errorf("FusedColSumsInto allocates %v per run, want 0", a)
+		}
+		if a := testing.AllocsPerRun(50, func() { FusedMatVecInto(rowDst, cell, ins, rows, cols, v) }); a != 0 {
+			t.Errorf("FusedMatVecInto allocates %v per run, want 0", a)
+		}
+
+		// A complete fused GD iteration — residual r = Xw - y via the matvec
+		// template, gradient g = Xᵀr via the scratch XtYInto path, update
+		// w -= lr·g — holds the zero-alloc pin end to end.
+		w := make([]float64, cols)
+		grad := make([]float64, cols)
+		resid := make([]float64, rows)
+		yv := make([]float64, rows)
+		for i := range yv {
+			yv[i] = r.NormFloat64()
+		}
+		ident, err := CompileFused([]FusedOp{{Code: FuseLoad, Arg: 0}, {Code: FuseConst, Val: 1}, {Code: FuseMul}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xIn := []FusedInput{DenseInput(x)}
+		gdStep := func() {
+			FusedMatVecInto(resid, ident, xIn, rows, cols, w)
+			for i := range resid {
+				resid[i] -= yv[i]
+			}
+			XtYInto(grad, x, resid)
+			for j := range w {
+				w[j] -= 1e-4 * grad[j]
+			}
+		}
+		if a := testing.AllocsPerRun(50, gdStep); a != 0 {
+			t.Errorf("fused GD step allocates %v per run, want 0", a)
+		}
+	})
+}
+
+// TestXtYIntoEquivalence: the new scratch-path XtYInto agrees with XtY and
+// allocates nothing in the serial regime.
+func TestXtYIntoEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	x := randMat(r, 300, 40, 0.2)
+	y := make([]float64, 300)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	want := XtY(x, y)
+	dst := make([]float64, 40)
+	eachProcs(func() {
+		if got := XtYInto(dst, x, y); !closeSlices(got, want, tolFor(300)) {
+			t.Error("XtYInto mismatch vs XtY")
+		}
+	})
+	withGOMAXPROCS(1, func() {
+		if a := testing.AllocsPerRun(50, func() { XtYInto(dst, x, y) }); a != 0 {
+			t.Errorf("XtYInto allocates %v per run, want 0", a)
+		}
+	})
+}
+
+// TestFusedParallelRace hammers the pool path from the race detector's
+// perspective: forced-parallel fused kernels over shared inputs. Run with
+// -race via `make race` (internal/la is in RACE_PKGS).
+func TestFusedParallelRace(t *testing.T) {
+	oldThresh := parallelThreshold
+	parallelThreshold = 1
+	defer func() { parallelThreshold = oldThresh }()
+	r := rand.New(rand.NewSource(27))
+	rows, cols := 200, 30
+	x := randMat(r, rows, cols, 0.3)
+	c := CSRFromDense(randMat(r, rows, cols, 0.8))
+	p, err := CompileFused([]FusedOp{
+		{Code: FuseLoad, Arg: 0},
+		{Code: FuseLoad, Arg: 1},
+		{Code: FuseAdd},
+		{Code: FuseSq},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []FusedInput{DenseInput(x), CSRInput(c)}
+	_ = pool.Workers() // warm the pool before the racing section
+	for i := 0; i < 4; i++ {
+		FusedCell(p, ins, rows, cols)
+		FusedSum(p, ins, rows, cols)
+		FusedRowSumsInto(make([]float64, rows), p, ins, rows, cols)
+		FusedColSumsInto(make([]float64, cols), p, ins, rows, cols)
+	}
+}

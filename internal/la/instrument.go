@@ -23,4 +23,13 @@ var (
 	mVecMatCalls = metrics.NewCounter("la.vecmat.calls")
 	mGramCalls   = metrics.NewCounter("la.gram.calls")
 	mGramTimer   = metrics.NewTimer("la.Gram")
+
+	// Fused-pipeline instruments: one counter per template plus the sparse
+	// fast-path counter, so `dmmlbench -metrics` shows how much of a run
+	// executed fused and how often zero cells were skipped outright.
+	mFusedCellCalls   = metrics.NewCounter("la.fused.cell.calls")
+	mFusedAggCalls    = metrics.NewCounter("la.fused.rowagg.calls")
+	mFusedSparseSkips = metrics.NewCounter("la.fused.sparse.fastpaths")
+	mFusedCellTimer   = metrics.NewTimer("la.FusedCell")
+	mFusedAggTimer    = metrics.NewTimer("la.FusedRowAgg")
 )

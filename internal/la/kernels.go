@@ -344,7 +344,13 @@ func gramAccum(x *Dense, acc []float64, r0, r1 int) {
 }
 
 // XtY returns Xᵀy for a matrix X and a column vector y of length X.rows.
-func XtY(x *Dense, y []float64) []float64 { return VecMat(y, x) }
+func XtY(x *Dense, y []float64) []float64 { return XtYInto(make([]float64, x.cols), x, y) }
+
+// XtYInto computes Xᵀy into dst (overwriting it) and returns dst. dst must
+// have length X.Cols(). Like VecMatInto it allocates nothing in the serial
+// regime, so solvers that compute a gradient per iteration can reuse one
+// buffer instead of allocating a fresh vector every call.
+func XtYInto(dst []float64, x *Dense, y []float64) []float64 { return VecMatInto(dst, y, x) }
 
 // OuterAdd adds alpha * x yᵀ into m in place.
 func OuterAdd(m *Dense, alpha float64, x, y []float64) {

@@ -202,6 +202,7 @@ func RidgeCVNaive(x *la.Dense, y []float64, lambdas []float64, k int, seed int64
 	}
 	passes := 0
 	out := make([]RidgeCVResult, 0, len(lambdas))
+	xty := make([]float64, d) // reused across every (λ, fold) solve
 	for _, lam := range lambdas {
 		total := 0.0
 		for f, pair := range folds {
@@ -216,7 +217,7 @@ func RidgeCVNaive(x *la.Dense, y []float64, lambdas []float64, k int, seed int64
 			for j := 0; j < d; j++ {
 				g.Set(j, j, g.At(j, j)+lam)
 			}
-			w, err := la.SolveSPD(g, la.XtY(xtr, ytr))
+			w, err := la.SolveSPD(g, la.XtYInto(xty, xtr, ytr))
 			if err != nil {
 				return nil, passes, fmt.Errorf("modelsel: lambda %v fold %d: %w", lam, f, err)
 			}
