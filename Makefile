@@ -3,7 +3,12 @@
 #   make test           tier-1 gate: build everything, run every test
 #   make check          static analysis + race detector over the concurrent
 #                       packages (pool, la, compress, paramserver, storage,
-#                       opt, metrics)
+#                       opt, metrics, dml, experiments, factorized, modeldb,
+#                       sketch)
+#   make vet-engine     dmmlvet: the engine-specific analyzer suite (scratch
+#                       pairing, span pairing, instrument registration,
+#                       noalloc kernels, lock discipline) over every package;
+#                       any finding fails the build
 #   make ci             exactly what .github/workflows/ci.yml runs, in order —
 #                       keep the two in lockstep so CI and local verification
 #                       cannot drift
@@ -28,25 +33,36 @@ GO ?= go
 BENCH_COUNT ?= 6
 
 # Packages with real concurrency — the ones worth the race detector's 10x
-# slowdown. metrics is lock-striped and must stay race-clean.
+# slowdown. metrics is lock-striped and must stay race-clean; dml drives the
+# parallel fused templates, experiments and factorized fan work out through
+# the pool, modeldb and sketch are exercised concurrently by the serving and
+# streaming paths.
 RACE_PKGS := ./internal/pool/... ./internal/la/... ./internal/compress/... \
 	./internal/paramserver/... ./internal/storage/... ./internal/opt/... \
-	./internal/metrics/...
+	./internal/metrics/... ./internal/dml/... ./internal/experiments/... \
+	./internal/factorized/... ./internal/modeldb/... ./internal/sketch/...
 
-.PHONY: test check ci vet race bench bench-guard lint-examples fuzz-smoke
+.PHONY: test check ci vet vet-engine race bench bench-guard lint-examples fuzz-smoke
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
 
-check: vet race
+check: vet vet-engine race
 
-# Mirror of the blocking CI jobs (build-test, vet, race, fuzz-smoke,
-# lint-examples).
-ci: test vet race fuzz-smoke lint-examples
+# Mirror of the blocking CI jobs (build-test, vet, vet-engine, race,
+# fuzz-smoke, lint-examples).
+ci: test vet vet-engine race fuzz-smoke lint-examples
 
 vet:
 	$(GO) vet ./...
+
+# The engine-specific static-analysis suite (cmd/dmmlvet): proves the
+# resource invariants — scratch-buffer pairing, span/stopwatch pairing,
+# instrument registration discipline, //dmml:noalloc kernels, lock
+# discipline — at compile time. Exits non-zero on any finding.
+vet-engine:
+	$(GO) run ./cmd/dmmlvet ./...
 
 race:
 	$(GO) test -race $(RACE_PKGS)

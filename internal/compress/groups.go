@@ -62,6 +62,9 @@ func (d *dict) entry(t int) []float64 {
 // premul computes, per dictionary entry, Σ_j entry[j]·v[cols[j]]. The result
 // is borrowed from the scratch pool; callers must release it with
 // pool.PutF64 once consumed.
+//
+//dmml:owns-scratch
+//dmml:noalloc
 func (d *dict) premul(v []float64) []float64 {
 	w := len(d.cols)
 	out := pool.GetF64(d.numEntries())
@@ -76,6 +79,7 @@ func (d *dict) premul(v []float64) []float64 {
 	return out
 }
 
+//dmml:noalloc
 func (d *dict) scale(s float64) {
 	for i := range d.vals {
 		d.vals[i] *= s
@@ -107,6 +111,7 @@ func (g *DDCGroup) Encoding() string {
 }
 
 // MatVecAccum implements Group.
+//dmml:noalloc
 func (g *DDCGroup) MatVecAccum(out, v []float64) {
 	pre := g.d.premul(v)
 	if g.codes8 != nil {
@@ -122,6 +127,7 @@ func (g *DDCGroup) MatVecAccum(out, v []float64) {
 }
 
 // VecMatAccum implements Group.
+//dmml:noalloc
 func (g *DDCGroup) VecMatAccum(out, x []float64) {
 	acc := pool.GetF64Zeroed(g.d.numEntries())
 	if g.codes8 != nil {
@@ -137,6 +143,7 @@ func (g *DDCGroup) VecMatAccum(out, x []float64) {
 	pool.PutF64(acc)
 }
 
+//dmml:noalloc
 func (g *DDCGroup) scatterWeighted(out, weightPerEntry []float64) {
 	w := len(g.d.cols)
 	for t, wt := range weightPerEntry {
@@ -233,6 +240,7 @@ func (g *OLEGroup) Cols() []int { return g.d.cols }
 func (g *OLEGroup) Encoding() string { return "OLE" }
 
 // MatVecAccum implements Group.
+//dmml:noalloc
 func (g *OLEGroup) MatVecAccum(out, v []float64) {
 	pre := g.d.premul(v)
 	for t, offs := range g.offsets {
@@ -248,6 +256,7 @@ func (g *OLEGroup) MatVecAccum(out, v []float64) {
 }
 
 // VecMatAccum implements Group.
+//dmml:noalloc
 func (g *OLEGroup) VecMatAccum(out, x []float64) {
 	w := len(g.d.cols)
 	for t, offs := range g.offsets {
@@ -332,6 +341,7 @@ func (g *RLEGroup) Cols() []int { return g.d.cols }
 func (g *RLEGroup) Encoding() string { return "RLE" }
 
 // MatVecAccum implements Group.
+//dmml:noalloc
 func (g *RLEGroup) MatVecAccum(out, v []float64) {
 	pre := g.d.premul(v)
 	for t, rs := range g.runs {
@@ -350,6 +360,7 @@ func (g *RLEGroup) MatVecAccum(out, v []float64) {
 }
 
 // VecMatAccum implements Group.
+//dmml:noalloc
 func (g *RLEGroup) VecMatAccum(out, x []float64) {
 	w := len(g.d.cols)
 	for t, rs := range g.runs {

@@ -163,6 +163,10 @@ type fuseCtx struct {
 
 var fuseCtxPool = sync.Pool{New: func() any { return new(fuseCtx) }}
 
+// getFuseCtx hands out a per-worker interpreter context whose vector
+// scratch block deliberately outlives this call: putFuseCtx releases it.
+//
+//dmml:owns-scratch
 func getFuseCtx(depth int) *fuseCtx {
 	ctx := fuseCtxPool.Get().(*fuseCtx)
 	ctx.buf = pool.GetF64(depth * fusedTileW)
@@ -240,6 +244,7 @@ func (p *FuseProgram) evalTile(ctx *fuseCtx, ins []FusedInput, cols, lo, hi int)
 // csrLoadRange decompresses the flat range [lo, lo+len(dst)) of a CSR
 // matrix into dst: one memset plus an O(nnz-in-range) scatter, so the zero
 // runs between stored entries cost a clear rather than per-element work.
+//dmml:noalloc
 func csrLoadRange(c *CSR, dst []float64, lo, cols int) {
 	for i := range dst {
 		dst[i] = 0
@@ -613,6 +618,7 @@ func fusedColSumsRange(p *FuseProgram, ins []FusedInput, cols int, acc []float64
 }
 
 // fuseSumVec sums a tile with a 4-way unrolled accumulator chain.
+//dmml:noalloc
 func fuseSumVec(x []float64) float64 {
 	var s, s0, s1, s2, s3 float64
 	n := len(x)
@@ -629,6 +635,7 @@ func fuseSumVec(x []float64) float64 {
 	return s + s0 + s1 + s2 + s3
 }
 
+//dmml:noalloc
 func fuseScalarBin(code FuseOpCode, a, b float64) float64 {
 	switch code {
 	case FuseAdd:
@@ -644,6 +651,7 @@ func fuseScalarBin(code FuseOpCode, a, b float64) float64 {
 	}
 }
 
+//dmml:noalloc
 func fuseScalarUn(code FuseOpCode, a float64) float64 {
 	switch code {
 	case FuseNeg:
@@ -665,6 +673,7 @@ func fuseScalarUn(code FuseOpCode, a float64) float64 {
 
 // fuseSigmoid mirrors opt.Sigmoid's numerically stable form exactly so
 // fused and unfused evaluation agree bit for bit (la cannot import opt).
+//dmml:noalloc
 func fuseSigmoid(m float64) float64 {
 	if m >= 0 {
 		return 1 / (1 + math.Exp(-m))
@@ -676,6 +685,7 @@ func fuseSigmoid(m float64) float64 {
 // fuseBinInto applies a binary micro-op over a tile. The hot vector-vector
 // and vector-scalar adds/subs/muls are 4-way unrolled like Dot; dst may
 // alias a (in-place update of the same stack position).
+//dmml:noalloc
 func fuseBinInto(code FuseOpCode, dst []float64, a, b fuseSlot) {
 	switch {
 	case a.vec != nil && b.vec != nil:
@@ -803,6 +813,7 @@ func fuseBinInto(code FuseOpCode, dst []float64, a, b fuseSlot) {
 }
 
 // fuseUnInto applies a unary micro-op over a tile; dst may alias x.
+//dmml:noalloc
 func fuseUnInto(code FuseOpCode, dst, x []float64) {
 	x = x[:len(dst)]
 	switch code {

@@ -59,6 +59,7 @@ func MatMul(a, b *Dense) *Dense {
 
 // gemmRows computes out[r0:r1] = a[r0:r1] × b using an ikj loop order so the
 // inner loop streams contiguously over b's rows and out's rows.
+//dmml:noalloc
 func gemmRows(a, b, out *Dense, r0, r1 int) {
 	n := b.cols
 	for i := r0; i < r1; i++ {
@@ -158,6 +159,7 @@ func VecMatInto(dst []float64, x []float64, m *Dense) []float64 {
 // accumulator two at a time: for narrow matrices the per-row Axpy loop is
 // short enough that call and loop overhead dominate, and the fused two-row
 // sweep doubles the flops retired per iteration.
+//dmml:noalloc
 func vecMatAccum(acc, x []float64, m *Dense, r0, r1 int) {
 	i := r0
 	for ; i+1 < r1; i += 2 {
@@ -245,6 +247,7 @@ const gramRowPanel = 256
 // gramPairAccum adds two rows' contributions to one accumulator row of the
 // upper triangle, skipping zero coefficients so sparse inputs keep their
 // short-circuit (and 0·Inf stays out of the sum).
+//dmml:noalloc
 func gramPairAccum(arow []float64, a, d int, va0, va1 float64, row0, row1 []float64) {
 	switch {
 	case va0 == 0 && va1 == 0:
@@ -267,6 +270,7 @@ func gramPairAccum(arow []float64, a, d int, va0, va1 float64, row0, row1 []floa
 // d×d buffer acc. Wide matrices are tiled over column blocks so the
 // accumulator tile stays in L1 instead of thrashing a d²-sized working set
 // per input row.
+//dmml:noalloc
 func gramAccum(x *Dense, acc []float64, r0, r1 int) {
 	d := x.cols
 	if d <= gramTile {

@@ -9,6 +9,7 @@ import (
 // wrapping 1-D data in matrices.
 
 // Dot returns the inner product of x and y.
+//dmml:noalloc
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("la: Dot length mismatch %d vs %d", len(x), len(y)))
@@ -31,6 +32,7 @@ func Dot(x, y []float64) float64 {
 }
 
 // Axpy computes y += a*x in place.
+//dmml:noalloc
 func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("la: Axpy length mismatch %d vs %d", len(x), len(y)))
@@ -41,6 +43,7 @@ func Axpy(a float64, x, y []float64) {
 }
 
 // ScaleVec multiplies x by a in place.
+//dmml:noalloc
 func ScaleVec(a float64, x []float64) {
 	for i := range x {
 		x[i] *= a
@@ -48,11 +51,13 @@ func ScaleVec(a float64, x []float64) {
 }
 
 // Norm2 returns the Euclidean norm of x.
+//dmml:noalloc
 func Norm2(x []float64) float64 {
 	return math.Sqrt(Dot(x, x))
 }
 
 // NormInf returns the maximum absolute value of x.
+//dmml:noalloc
 func NormInf(x []float64) float64 {
 	var mx float64
 	for _, v := range x {
@@ -95,6 +100,7 @@ func CloneVec(x []float64) []float64 {
 }
 
 // SumVec returns the sum of the elements of x.
+//dmml:noalloc
 func SumVec(x []float64) float64 {
 	var s float64
 	for _, v := range x {

@@ -74,6 +74,7 @@ func (h *Histogram) ensureInit() {
 }
 
 // Observe records v. No-op when collection is disabled. Never allocates.
+//dmml:noalloc
 func (h *Histogram) Observe(v int64) {
 	if !enabled.Load() {
 		return

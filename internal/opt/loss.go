@@ -25,9 +25,11 @@ type Loss interface {
 type Squared struct{}
 
 // Value implements Loss.
+//dmml:noalloc
 func (Squared) Value(m, y float64) float64 { d := m - y; return 0.5 * d * d }
 
 // Deriv implements Loss.
+//dmml:noalloc
 func (Squared) Deriv(m, y float64) float64 { return m - y }
 
 // Name implements Loss.
@@ -37,6 +39,7 @@ func (Squared) Name() string { return "squared" }
 type Logistic struct{}
 
 // Value implements Loss.
+//dmml:noalloc
 func (Logistic) Value(m, y float64) float64 {
 	z := y * m
 	if z > 35 {
@@ -49,6 +52,7 @@ func (Logistic) Value(m, y float64) float64 {
 }
 
 // Deriv implements Loss.
+//dmml:noalloc
 func (Logistic) Deriv(m, y float64) float64 {
 	z := y * m
 	// −y·σ(−z)
@@ -68,9 +72,11 @@ func (Logistic) Name() string { return "logistic" }
 type Hinge struct{}
 
 // Value implements Loss.
+//dmml:noalloc
 func (Hinge) Value(m, y float64) float64 { return math.Max(0, 1-y*m) }
 
 // Deriv implements Loss (a subgradient).
+//dmml:noalloc
 func (Hinge) Deriv(m, y float64) float64 {
 	if y*m < 1 {
 		return -y
@@ -82,6 +88,7 @@ func (Hinge) Deriv(m, y float64) float64 {
 func (Hinge) Name() string { return "hinge" }
 
 // Sigmoid is the logistic link 1/(1+e^{−m}).
+//dmml:noalloc
 func Sigmoid(m float64) float64 {
 	if m >= 0 {
 		return 1 / (1 + math.Exp(-m))

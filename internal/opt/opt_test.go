@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dmml/internal/la"
+	"dmml/internal/pool"
 )
 
 // synthRegression builds y = X·wTrue + noise.
@@ -346,6 +347,48 @@ func TestSGDMatchesGDOnQuadratic(t *testing.T) {
 	for j := range wLS {
 		if math.Abs(res.W[j]-wLS[j]) > 0.05 {
 			t.Fatalf("SGD w[%d] = %v, LS %v", j, res.W[j], wLS[j])
+		}
+	}
+}
+
+// TestGradientDescentReleasesScratch pins the per-buffer defer pairing in
+// GradientDescent: every scratch buffer (including the ones renamed by the
+// w/cand and grad/candGrad swaps) goes back to the pool exactly once, and the
+// returned W is a private clone. If a defer released the wrong buffer — or
+// W aliased the pool — the scribble pass below would corrupt the result.
+func TestGradientDescentReleasesScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x, y, _ := synthRegression(r, 120, 5, 0.01)
+	res, err := GradientDescent(DenseData{x}, y, Squared{}, GDConfig{Step: 0.1, MaxIter: 50, Backtracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := la.CloneVec(res.W)
+
+	// Drain the pool's small classes and scribble over everything GD might
+	// have released, then run a second fit for good measure.
+	var grabbed [][]float64
+	for i := 0; i < 64; i++ {
+		buf := pool.GetF64(len(want))
+		for j := range buf {
+			buf[j] = math.NaN()
+		}
+		grabbed = append(grabbed, buf)
+	}
+	for _, buf := range grabbed {
+		pool.PutF64(buf)
+	}
+	res2, err := GradientDescent(DenseData{x}, y, Squared{}, GDConfig{Step: 0.1, MaxIter: 50, Backtracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for j := range want {
+		if res.W[j] != want[j] {
+			t.Fatalf("res.W[%d] mutated after pool reuse: %v != %v (W aliases a pooled buffer)", j, res.W[j], want[j])
+		}
+		if math.IsNaN(res2.W[j]) {
+			t.Fatalf("second fit read poisoned scratch at w[%d]: pooled buffer not re-zeroed or double-released", j)
 		}
 	}
 }

@@ -192,6 +192,7 @@ func SerialNow() bool {
 // costs roughly itemWork scalar operations. It targets enough chunks per
 // worker for dynamic load balancing (so skewed items rebalance) while keeping
 // each chunk heavy enough to amortize the atomic claim and cache traffic.
+//dmml:noalloc
 func Grain(n, itemWork int) int {
 	if n <= 0 {
 		return 1

@@ -1,0 +1,81 @@
+package vet
+
+// instrumentinit proves the registration discipline from PR 4: metrics
+// instruments (NewCounter/NewGauge/NewHistogram/NewTimer) are looked up in a
+// global registry by name and live forever. Registering at package level or
+// in init() costs one map entry per distinct metric; registering inside a
+// request- or iteration-scoped function re-runs the registry lookup on the
+// hot path and — when the name is dynamic — grows the registry without
+// bound. So: instrument constructors may appear only in package-level var
+// initializers or init functions. The metrics package itself is exempt (the
+// Span API resolves its timer internally).
+
+import (
+	"go/ast"
+)
+
+var AnalyzerInstrumentInit = &Analyzer{
+	Name: "instrumentinit",
+	Doc:  "metrics.NewCounter/NewGauge/NewHistogram/NewTimer only at package-level var or init()",
+	Run:  runInstrumentInit,
+}
+
+var instrumentCtors = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+	"NewTimer":     true,
+}
+
+func runInstrumentInit(pass *Pass) {
+	if pass.Types.Path() == metricsPkgPath {
+		return
+	}
+	reportCtors := func(root ast.Node, where string) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkgPath || !instrumentCtors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "metrics.%s called %s; instruments must be registered in a package-level var or init() — per-call registration re-runs the registry lookup on the hot path and can leak registry entries", fn.Name(), where)
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				if d.Name.Name == "init" && d.Recv == nil {
+					continue // init() is registration time
+				}
+				reportCtors(d.Body, "inside function "+d.Name.Name)
+			case *ast.GenDecl:
+				// Direct package-level var initializers are the blessed form,
+				// but a function literal stored in a package-level var still
+				// runs per call.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						ast.Inspect(v, func(n ast.Node) bool {
+							if lit, ok := n.(*ast.FuncLit); ok {
+								reportCtors(lit.Body, "inside a function literal")
+								return false
+							}
+							return true
+						})
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package vet
+
+// lockdiscipline enforces two locking invariants:
+//
+//  1. Everywhere: values whose type (transitively) contains a sync.Mutex or
+//     sync.RWMutex must not be copied — not passed by value, returned by
+//     value, assigned from an existing value, bound as a by-value range
+//     variable, or used as a by-value method receiver. A copied mutex is an
+//     independent lock guarding shared state: the classic silent race.
+//
+//  2. In the engine's concurrency-critical packages (pool, paramserver,
+//     storage): every mu.Lock()/mu.RLock() must reach the matching
+//     mu.Unlock()/mu.RUnlock() on all exit paths of the function, via defer
+//     or per-path release — the same path proof as scratchpair, applied to
+//     critical sections. (Scoped to those packages because elsewhere a
+//     suite-level proof adds little over the race detector, and helper
+//     wrappers would need annotations.)
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var AnalyzerLockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no mutex copied by value; Lock/Unlock balanced on all paths in pool/paramserver/storage",
+	Run:  runLockDiscipline,
+}
+
+// lockPairPkgs are the module packages whose critical sections get the
+// all-paths Lock/Unlock proof.
+var lockPairPkgs = map[string]bool{
+	"dmml/internal/pool":        true,
+	"dmml/internal/paramserver": true,
+	"dmml/internal/storage":     true,
+}
+
+func runLockDiscipline(pass *Pass) {
+	checkLockCopies(pass)
+	if lockPairPkgs[pass.Types.Path()] || !strings.HasPrefix(pass.Types.Path(), "dmml/") {
+		checkLockPairs(pass)
+	}
+}
+
+// ---- part 1: mutex copied by value ----
+
+// containsLock reports whether t held by value embeds a sync.Mutex/RWMutex.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, make(map[types.Type]bool))
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	if named, ok := t.(*types.Named); ok {
+		return containsLockRec(named.Underlying(), seen)
+	}
+	return false
+}
+
+// copiesExistingValue reports whether e denotes an existing addressable
+// value whose evaluation copies it (ident, selector, index, deref) — as
+// opposed to a fresh composite literal or conversion, which is
+// initialization, not a copy of a possibly-locked lock.
+func copiesExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func lockTypeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func checkLockCopies(pass *Pass) {
+	exprCopiesLock := func(e ast.Expr) (types.Type, bool) {
+		if !copiesExistingValue(e) {
+			return nil, false
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return nil, false
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return nil, false
+		}
+		if containsLock(tv.Type) {
+			return tv.Type, true
+		}
+		return nil, false
+	}
+
+	for _, f := range pass.Files {
+		// By-value receivers and parameters on declared functions.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				for _, field := range fd.Recv.List {
+					if tv, ok := pass.Info.Types[field.Type]; ok && tv.Type != nil {
+						if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr && containsLock(tv.Type) {
+							pass.Reportf(field.Pos(), "method %s has a by-value receiver of type %s, which contains a mutex; use a pointer receiver", fd.Name.Name, lockTypeName(tv.Type))
+						}
+					}
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					if tv, ok := pass.Info.Types[field.Type]; ok && tv.Type != nil {
+						if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr && containsLock(tv.Type) {
+							pass.Reportf(field.Pos(), "function %s takes %s by value, copying its mutex; pass a pointer", fd.Name.Name, lockTypeName(tv.Type))
+						}
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, r := range n.Rhs {
+					if t, bad := exprCopiesLock(r); bad {
+						pass.Reportf(r.Pos(), "assignment copies a value of type %s, which contains a mutex", lockTypeName(t))
+					}
+				}
+			case *ast.CallExpr:
+				for _, a := range n.Args {
+					if t, bad := exprCopiesLock(a); bad {
+						pass.Reportf(a.Pos(), "call passes a value of type %s by value, copying its mutex", lockTypeName(t))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if t, bad := exprCopiesLock(r); bad {
+						pass.Reportf(r.Pos(), "return copies a value of type %s, which contains a mutex", lockTypeName(t))
+					}
+				}
+			case *ast.RangeStmt:
+				// A `:=` range value is a definition, recorded in Defs rather
+				// than Types; resolve through either.
+				if n.Value != nil {
+					var t types.Type
+					if tv, ok := pass.Info.Types[n.Value]; ok {
+						t = tv.Type
+					} else if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							t = obj.Type()
+						} else if obj := pass.Info.Uses[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+					if t != nil && containsLock(t) {
+						pass.Reportf(n.Value.Pos(), "range value copies %s, which contains a mutex; range over indices or pointers", lockTypeName(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- part 2: Lock/Unlock pairing ----
+
+// lockCall matches mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes and
+// returns the receiver key ("fl.mu") plus whether it is the reader variant.
+func lockCall(pass *Pass, call *ast.CallExpr, names ...string) (key string, ok bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	match := false
+	for _, n := range names {
+		if fn.Name() == n {
+			match = true
+		}
+	}
+	if !match {
+		return "", false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func checkLockPairs(pass *Pass) {
+	forEachFuncContext(pass.Package, func(fc funcContext) {
+		// Collect every Lock/RLock acquisition statement in this context.
+		type acq struct {
+			stmt ast.Stmt
+			call *ast.CallExpr
+			key  string
+			read bool
+		}
+		var acqs []acq
+		inspectContext(fc.body, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, ok := lockCall(pass, call, "Lock"); ok {
+				acqs = append(acqs, acq{stmt: es, call: call, key: key})
+			} else if key, ok := lockCall(pass, call, "RLock"); ok {
+				acqs = append(acqs, acq{stmt: es, call: call, key: key, read: true})
+			}
+			return true
+		})
+		for _, a := range acqs {
+			unlock := "Unlock"
+			if a.read {
+				unlock = "RUnlock"
+			}
+			t := &pairTracker{
+				acquireStmt: a.stmt,
+				isRelease: func(call *ast.CallExpr) bool {
+					key, ok := lockCall(pass, call, unlock)
+					return ok && key == a.key
+				},
+				leak: func(pos token.Pos, where string) {
+					pass.Reportf(pos, "%s is still locked at %s (%s at %s has no matching %s.%s on this path)",
+						a.key, where, lockName(a.read), pass.Fset.Position(a.call.Pos()), a.key, unlock)
+				},
+			}
+			t.check(fc.body)
+		}
+	})
+}
+
+func lockName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}

@@ -1,0 +1,287 @@
+package vet
+
+// The acquire/release path engine shared by scratchpair, spanpair, and
+// lockdiscipline. It is a structural abstract interpretation over the Go
+// statement AST rather than a real CFG: each function body is walked in
+// source order with a three-state lattice (before-acquire, live, released),
+// branches are walked independently and merged with live-wins (a resource
+// live on ANY continuing path is still live), and a resource that is live at
+// a return or at function end is a leak. goto is not modeled (the engine
+// tree has none); break/continue end the path being walked, which can hide a
+// leak but never invents one. The design bias throughout is: a false
+// positive costs an annotation, a false negative costs nothing that the
+// dynamic tests didn't already cost, so when in doubt the engine stays
+// conservative about RELEASING (a release must dominate the exit) and
+// generous about ESCAPING (anything that looks like an ownership transfer
+// is handled by the escape scanner, not reported as a leak here).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+type relState int
+
+const (
+	stBefore relState = iota // acquire not yet executed on this path
+	stLive                   // acquired and unreleased
+	stDone                   // released, or a releasing defer is registered
+)
+
+// pairTracker checks one acquired resource within one function context.
+type pairTracker struct {
+	// acquireStmt is the statement performing the acquisition; walking past
+	// it flips the state to stLive.
+	acquireStmt ast.Stmt
+	// isRelease reports whether this call releases the resource.
+	isRelease func(*ast.CallExpr) bool
+	// returnsResource reports whether the return statement hands the
+	// resource to the caller (ownership transfer, not a leak; the escape
+	// scanner decides whether that transfer is allowed).
+	returnsResource func(*ast.ReturnStmt) bool
+	// leak is invoked for every leaking exit. where is "return",
+	// "function end", or "loop iteration".
+	leak func(pos token.Pos, where string)
+}
+
+// check walks an entire function body and reports leaks.
+func (t *pairTracker) check(body *ast.BlockStmt) {
+	st, terminated := t.walkList(body.List, stBefore)
+	if st == stLive && !terminated {
+		t.leak(body.Rbrace, "function end")
+	}
+}
+
+func (t *pairTracker) walkList(stmts []ast.Stmt, st relState) (relState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = t.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// mergeBranch folds one branch outcome into the running merge of continuing
+// paths. Terminated branches (ending in return/break) drop out; among the
+// continuing ones, live wins — if ANY continuing path still holds the
+// resource, the merged path does.
+func mergeBranch(acc relState, accAny bool, st relState, terminated bool) (relState, bool) {
+	if terminated {
+		return acc, accAny
+	}
+	if !accAny {
+		return st, true
+	}
+	switch {
+	case acc == stLive || st == stLive:
+		return stLive, true
+	case acc == stDone || st == stDone:
+		return stDone, true
+	}
+	return stBefore, true
+}
+
+func (t *pairTracker) walkStmt(s ast.Stmt, st relState) (relState, bool) {
+	if s == t.acquireStmt {
+		return stLive, false
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return t.walkList(s.List, st)
+
+	case *ast.LabeledStmt:
+		return t.walkStmt(s.Stmt, st)
+
+	case *ast.ReturnStmt:
+		if st == stLive && !(t.returnsResource != nil && t.returnsResource(s)) && !t.nodeReleases(s) {
+			t.leak(s.Pos(), "return")
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; the engine does not
+		// follow them, so the path simply ends here.
+		return st, true
+
+	case *ast.DeferStmt:
+		if st == stLive && (t.callIsRelease(s.Call) || t.nodeReleases(s.Call)) {
+			return stDone, false
+		}
+		return st, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = t.walkStmt(s.Init, st)
+		}
+		if st == stLive && t.nodeReleases(s.Cond) {
+			st = stDone
+		}
+		thenSt, thenTerm := t.walkList(s.Body.List, st)
+		acc, accAny := mergeBranch(0, false, thenSt, thenTerm)
+		if s.Else != nil {
+			elseSt, elseTerm := t.walkStmt(s.Else, st)
+			acc, accAny = mergeBranch(acc, accAny, elseSt, elseTerm)
+		} else {
+			acc, accAny = mergeBranch(acc, accAny, st, false)
+		}
+		if !accAny {
+			return st, true // both arms terminated
+		}
+		return acc, false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = t.walkStmt(s.Init, st)
+		}
+		bodySt, _ := t.walkList(s.Body.List, st)
+		// A resource acquired inside the body that is still live when the
+		// body falls off its end leaks once per iteration.
+		if st != stLive && bodySt == stLive {
+			t.leak(s.Body.Rbrace, "loop iteration")
+		}
+		// Zero iterations are always possible as far as this engine knows,
+		// so a release inside the body does not release the pre-loop state.
+		return st, false
+
+	case *ast.RangeStmt:
+		bodySt, _ := t.walkList(s.Body.List, st)
+		if st != stLive && bodySt == stLive {
+			t.leak(s.Body.Rbrace, "loop iteration")
+		}
+		return st, false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = t.walkStmt(s.Init, st)
+		}
+		return t.walkCases(s.Body, st, hasDefaultClause(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = t.walkStmt(s.Init, st)
+		}
+		return t.walkCases(s.Body, st, hasDefaultClause(s.Body))
+
+	case *ast.SelectStmt:
+		return t.walkCases(s.Body, st, hasDefaultClause(s.Body))
+
+	case *ast.GoStmt:
+		// A release inside a go statement eventually runs; trust it.
+		if st == stLive && t.nodeReleases(s.Call) {
+			return stDone, false
+		}
+		return st, false
+
+	default:
+		// Linear statements: ExprStmt, AssignStmt, DeclStmt, SendStmt,
+		// IncDecStmt, EmptyStmt. A release anywhere inside moves to stDone.
+		if st == stLive && t.nodeReleases(s) {
+			return stDone, false
+		}
+		return st, false
+	}
+}
+
+// walkCases merges the clause bodies of a switch/select. Without a default
+// clause the zero-clause path keeps the incoming state.
+func (t *pairTracker) walkCases(body *ast.BlockStmt, st relState, hasDefault bool) (relState, bool) {
+	acc, accAny := relState(0), false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		cs, cterm := t.walkList(list, st)
+		acc, accAny = mergeBranch(acc, accAny, cs, cterm)
+	}
+	if !hasDefault {
+		acc, accAny = mergeBranch(acc, accAny, st, false)
+	}
+	if !accAny {
+		return st, true
+	}
+	return acc, false
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (t *pairTracker) callIsRelease(call *ast.CallExpr) bool {
+	return t.isRelease(call)
+}
+
+// nodeReleases reports whether any call expression inside n releases the
+// resource. Nested function literals are included: a release inside a
+// closure created here (a deferred cleanup func, a pool.Do worker body) is
+// assumed to run. That is deliberately generous — it can miss a leak when
+// the closure never executes, but it never flags correct code.
+func (t *pairTracker) nodeReleases(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && t.isRelease(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---- function-context enumeration ----
+
+// funcContext is one independently-analyzed flow context: a declared
+// function's body or a function literal's body. Statements of nested
+// literals are excluded from the enclosing context's control flow.
+type funcContext struct {
+	decl *ast.FuncDecl // enclosing declaration (for directives); never nil
+	body *ast.BlockStmt
+}
+
+// forEachFuncContext yields every function context in the package: each
+// FuncDecl body and each FuncLit body, the latter attributed to its
+// enclosing declaration for directive lookup.
+func forEachFuncContext(pkg *Package, fn func(fc funcContext)) {
+	forEachFuncBody(pkg, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		fn(funcContext{decl: decl, body: body})
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(funcContext{decl: decl, body: lit.Body})
+				// Keep descending: literals nest.
+			}
+			return true
+		})
+	})
+}
+
+// inspectContext walks the statements of one function context without
+// descending into nested function literals (which are their own contexts;
+// the walk starts at a BlockStmt, so any FuncLit encountered is nested).
+func inspectContext(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,50 @@
+// Package instrumentinit is the golden diagnostic package for the
+// instrumentinit analyzer: instrument constructors anywhere but a
+// package-level var or init() are reported.
+package instrumentinit
+
+import "dmml/internal/metrics"
+
+// Guard: package-level var initializers are the blessed form.
+var (
+	goodCounter = metrics.NewCounter("vet.ii.good")
+	goodTimer   = metrics.NewTimer("vet.ii.timer")
+)
+
+// Guard: init() is registration time.
+func init() {
+	metrics.NewGauge("vet.ii.boot").Set(1)
+}
+
+// Seeded bug: registration on a request path.
+func perCallCounter() {
+	c := metrics.NewCounter("vet.ii.percall") // want `metrics.NewCounter called inside function perCallCounter`
+	c.Inc()
+}
+
+// Seeded bug: dynamic names grow the registry without bound.
+func perCallDynamic(name string) {
+	metrics.NewHistogram("vet.ii." + name).Observe(1) // want `metrics.NewHistogram called inside function perCallDynamic`
+}
+
+// Seeded bug: a function literal in a package-level var still runs per call.
+var lazyTimer = func() *metrics.Timer {
+	return metrics.NewTimer("vet.ii.lazy") // want `metrics.NewTimer called inside a function literal`
+}
+
+// Seeded bug: methods are functions too.
+type widget struct{}
+
+func (widget) observe() {
+	metrics.NewTimer("vet.ii.widget").Start().Stop() // want `metrics.NewTimer called inside function observe`
+}
+
+// Guard: using already-registered instruments anywhere is fine.
+func useInstruments() {
+	goodCounter.Inc()
+	sw := goodTimer.Start()
+	sw.Stop()
+	_ = lazyTimer
+}
+
+var _ = widget{}

@@ -1,0 +1,134 @@
+// Package lockdiscipline is the golden diagnostic package for the
+// lockdiscipline analyzer: mutexes copied by value (flagged everywhere) and
+// unbalanced Lock/Unlock paths (flagged because this package path is outside
+// the module, standing in for pool/paramserver/storage).
+package lockdiscipline
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// ---- seeded Lock/Unlock pairing bugs ----
+
+// Seeded bug: the error path returns with the lock held.
+func lockLeakEarlyReturn(g *guarded, v int) int {
+	g.mu.Lock()
+	if v < 0 {
+		return -1 // want `g\.mu is still locked at return`
+	}
+	g.n += v
+	g.mu.Unlock()
+	return g.n
+}
+
+// Seeded bug: locked, never unlocked.
+func lockLeakAtEnd(g *guarded) {
+	g.mu.Lock()
+	g.n++
+} // want `g\.mu is still locked at function end`
+
+// Seeded bug: the reader lock leaks on the miss path.
+func rlockLeak(g *rwGuarded, ok bool) int {
+	g.mu.RLock()
+	if !ok {
+		return 0 // want `g\.mu is still locked at return`
+	}
+	v := g.n
+	g.mu.RUnlock()
+	return v
+}
+
+// ---- seeded mutex-copy bugs ----
+
+// Seeded bug: a by-value parameter copies the mutex.
+func copyParam(g guarded) int { // want `function copyParam takes lockdiscipline\.guarded by value`
+	return g.n
+}
+
+// Seeded bug: a by-value receiver copies the mutex on every call.
+func (g guarded) byValue() int { // want `method byValue has a by-value receiver of type lockdiscipline\.guarded`
+	return g.n
+}
+
+// Seeded bug: dereferencing assignment copies the lock state.
+func snapshot(g *guarded) int {
+	s := *g // want `assignment copies a value of type lockdiscipline\.guarded`
+	return s.n
+}
+
+// Seeded bug: returning the struct by value copies it.
+func returnCopy(g *guarded) guarded {
+	return *g // want `return copies a value of type lockdiscipline\.guarded`
+}
+
+// Seeded bug: passing by value copies it.
+func passCopy(g *guarded) int {
+	return copyParam(*g) // want `call passes a value of type lockdiscipline\.guarded by value`
+}
+
+// Seeded bug: a by-value range variable copies each element's mutex.
+func rangeCopy(gs []guarded) int {
+	t := 0
+	for _, it := range gs { // want `range value copies lockdiscipline\.guarded`
+		t += it.n
+	}
+	return t
+}
+
+// ---- false-positive guards: every one of these must stay silent ----
+
+// Guard: defer unlock covers every path.
+func properDefer(g *guarded, v int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v < 0 {
+		return -1
+	}
+	g.n += v
+	return g.n
+}
+
+// Guard: per-path unlock.
+func properBranch(g *guarded, v int) int {
+	g.mu.Lock()
+	if v < 0 {
+		g.mu.Unlock()
+		return -1
+	}
+	g.n += v
+	g.mu.Unlock()
+	return g.n
+}
+
+// Guard: reader lock with defer.
+func properRead(g *rwGuarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Guard: pointers and index expressions do not copy the element.
+func pointerUse(gs []guarded) int {
+	t := 0
+	for i := range gs {
+		g := &gs[i]
+		g.mu.Lock()
+		t += g.n
+		g.mu.Unlock()
+	}
+	return t
+}
+
+// Guard: composite-literal initialization is not a copy of a live lock.
+func fresh() *guarded {
+	g := guarded{n: 1}
+	return &g
+}

@@ -1,0 +1,114 @@
+// Package spanpair is the golden diagnostic package for the spanpair
+// analyzer: seeded unpaired spans/stopwatches, and the paired forms that
+// must stay silent.
+package spanpair
+
+import (
+	"context"
+
+	"dmml/internal/metrics"
+)
+
+var opTimer = metrics.NewTimer("vet.spanpair.op")
+
+func work(ctx context.Context) int {
+	_ = ctx
+	return 1
+}
+
+// Seeded bug: the early return skips end().
+func spanLeakOnEarlyReturn(ctx context.Context, n int) int {
+	sctx, end := metrics.Span(ctx, "vet.op")
+	if n > 3 {
+		return 0 // want `metrics span end "end" is not called on return`
+	}
+	v := work(sctx)
+	end()
+	return v
+}
+
+// Seeded bug: span opened, never ended.
+func spanLeakAtEnd(ctx context.Context) int {
+	sctx, end := metrics.Span(ctx, "vet.op")
+	_ = end
+	return work(sctx) // want `metrics span end "end" is not called on return`
+}
+
+// Seeded bug: the end func is dropped on the floor.
+func spanEndDiscarded(ctx context.Context) {
+	_, _ = metrics.Span(ctx, "vet.op") // want `span end function is discarded`
+}
+
+// Seeded bug: stopwatch never stopped on the error path.
+func stopwatchLeak(n int) int {
+	sw := opTimer.Start()
+	if n < 0 {
+		return -1 // want `stopwatch "sw" is not stopped on return`
+	}
+	sw.Stop()
+	return n
+}
+
+// Seeded bug: stopwatch dropped at acquisition.
+func stopwatchDiscarded() {
+	opTimer.Start() // want `stopwatch from Timer.Start is discarded`
+}
+
+// ---- false-positive guards ----
+
+// Guard: defer end() covers every path.
+func spanDeferred(ctx context.Context, n int) int {
+	sctx, end := metrics.Span(ctx, "vet.op")
+	defer end()
+	if n > 3 {
+		return 0
+	}
+	return work(sctx)
+}
+
+// Guard: end() called inside a deferred closure (the eval.go shape).
+func spanDeferredClosure(ctx context.Context) int {
+	sctx, end := metrics.Span(ctx, "vet.op")
+	defer func() {
+		end()
+	}()
+	return work(sctx)
+}
+
+// Guard: explicit end on each path.
+func spanBranched(ctx context.Context, n int) int {
+	sctx, end := metrics.Span(ctx, "vet.op")
+	if n > 3 {
+		end()
+		return 0
+	}
+	v := work(sctx)
+	end()
+	return v
+}
+
+// Guard: defer sw.Stop() covers every path.
+func stopwatchDeferred(n int) int {
+	sw := opTimer.Start()
+	defer sw.Stop()
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+// Guard: per-iteration start/stop is balanced (the SGD epoch shape).
+func stopwatchPerEpoch(epochs int) {
+	for e := 0; e < epochs; e++ {
+		sw := opTimer.Start()
+		work(context.Background())
+		sw.Stop()
+	}
+}
+
+// Guard: a stopwatch handed to the caller is an ownership transfer the
+// analyzer does not second-guess.
+func stopwatchHandOff() metrics.Stopwatch {
+	sw := opTimer.Start()
+	return sw
+}
