@@ -12,13 +12,13 @@
 #   make ci             exactly what .github/workflows/ci.yml runs, in order —
 #                       keep the two in lockstep so CI and local verification
 #                       cannot drift
-#   make fuzz-smoke     15s native-fuzzing pass over the DML fusion property
-#                       (fused vs unfused semantic equivalence)
+#   make fuzz-smoke     15s native-fuzzing passes over the DML fusion
+#                       properties (fused vs unfused, compiled vs interpreted)
 #   make bench          benchstat-compatible timings for the perf-tracked
-#                       experiments (E4, E5, E6, E10, E15, and the E14 fault-
+#                       experiments (E4, E5, E6, E10, E15, E16, and the E14 fault-
 #                       injection scenario) — run before and after a kernel
 #                       change and feed both logs to benchstat
-#   make bench-guard    the non-blocking CI bench job: run E4/E5/E15 at full
+#   make bench-guard    the non-blocking CI bench job: run E4/E5/E15/E16 at full
 #                       scale with -snapshot/-metrics and diff against the
 #                       BENCH_baseline.json snapshot pins
 #   make lint-examples  run the DML static analyzer over all shipped scripts
@@ -68,17 +68,18 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance|15Fusion)$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance|15Fusion|16CompiledFusion)$$' \
 		-benchmem -count=$(BENCH_COUNT) .
 
 # Short native-fuzzing smoke over the fusion equivalence property: random
 # expression trees, fused evaluation must match unfused bit-for-bit on cell
 # templates and to relative 1e-8 on reassociated reductions.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz 'FuzzFusionSemantics' -fuzztime 15s ./internal/dml
+	$(GO) test -run '^$$' -fuzz 'FuzzFusionSemantics$$' -fuzztime 15s ./internal/dml
+	$(GO) test -run '^$$' -fuzz 'FuzzCompiledFusionSemantics$$' -fuzztime 15s ./internal/dml
 
 bench-guard:
-	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15 -snapshot bench_current.json -metrics metrics_current.json
+	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16 -snapshot bench_current.json -metrics metrics_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -current bench_current.json -metrics metrics_current.json
 
 lint-examples:

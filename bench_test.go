@@ -90,6 +90,10 @@ func BenchmarkE15Fusion(b *testing.B) {
 	benchExperiment(b, experiments.E15Fusion)
 }
 
+func BenchmarkE16CompiledFusion(b *testing.B) {
+	benchExperiment(b, experiments.E16CompiledFusion)
+}
+
 func BenchmarkAblationKMeansPruning(b *testing.B) {
 	benchExperiment(b, experiments.EKMeansPruning)
 }

@@ -46,6 +46,10 @@ type EvalStats struct {
 	CSEHits int64
 	// FusedRegions counts fused-template executions (Cell and RowAgg).
 	FusedRegions int64
+	// FusedCompiled counts fused-template executions that ran through a
+	// compiled kernel rather than the tile interpreter (FusedCompiled ≤
+	// FusedRegions; the gap is interpreter fallbacks and -fuse=interp runs).
+	FusedCompiled int64
 	// CellsSaved counts the intermediate matrix cells fusion did NOT
 	// materialize — what an unfused plan would have added to CellsAllocated.
 	CellsSaved int64
@@ -431,6 +435,9 @@ func (e *evaluator) evalFused(n *Fused) (Value, error) {
 	prog := n.Prog
 	cells := int64(rows) * int64(cols)
 	e.stats.FusedRegions++
+	if compiled, _ := prog.CompileFusedKernel(ins); compiled {
+		e.stats.FusedCompiled++
+	}
 	e.stats.Flops += float64(prog.ArithOps()) * float64(cells)
 	if n.Kind == FuseCell {
 		out := la.FusedCell(prog, ins, rows, cols)

@@ -414,16 +414,14 @@ func callFuseCode(fn string) la.FuseOpCode {
 	}
 }
 
-// FusedRegionCount reports how many fused regions the program contains
-// (diagnostic helper for tests and EXPLAIN output; Fused nodes render like
-// their unfused bodies, so String cannot reveal them).
-func (p *Program) FusedRegionCount() int {
-	n := 0
+// forEachFused visits every Fused node in the program, including regions
+// nested in other regions' inputs and inside control-flow bodies.
+func (p *Program) forEachFused(fn func(*Fused)) {
 	var walkNode func(Node)
 	walkNode = func(nd Node) {
 		switch t := nd.(type) {
 		case *Fused:
-			n++
+			fn(t)
 			for _, in := range t.Inputs {
 				walkNode(in)
 			}
@@ -469,5 +467,13 @@ func (p *Program) FusedRegionCount() int {
 		}
 	}
 	walkStmts(p.Stmts)
+}
+
+// FusedRegionCount reports how many fused regions the program contains
+// (diagnostic helper for tests and EXPLAIN output; Fused nodes render like
+// their unfused bodies, so String cannot reveal them).
+func (p *Program) FusedRegionCount() int {
+	n := 0
+	p.forEachFused(func(*Fused) { n++ })
 	return n
 }

@@ -1,0 +1,81 @@
+package dml
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dmml/internal/la"
+)
+
+// FusionMode selects how fused regions execute — or whether fusion runs at
+// all. It is the engine-level face of the la package's fused backends:
+// "compile" lowers each region to specialized closure/flat kernels,
+// "interp" keeps the per-op tile interpreter (the escape hatch when the
+// compiled path is suspected), and "off" disables the fusion pass entirely
+// so every intermediate materializes.
+type FusionMode uint8
+
+const (
+	// FusionCompiled fuses regions and executes them through compiled
+	// closure kernels (the default).
+	FusionCompiled FusionMode = iota
+	// FusionInterp fuses regions but pins them to the tile interpreter.
+	FusionInterp
+	// FusionOff skips the fusion pass; the plan materializes every
+	// intermediate like the unfused baseline.
+	FusionOff
+)
+
+func (m FusionMode) String() string {
+	switch m {
+	case FusionInterp:
+		return "interp"
+	case FusionOff:
+		return "off"
+	default:
+		return "compile"
+	}
+}
+
+// ParseFusionMode maps the -fuse flag values onto a FusionMode.
+func ParseFusionMode(s string) (FusionMode, error) {
+	switch s {
+	case "compile", "compiled":
+		return FusionCompiled, nil
+	case "interp":
+		return FusionInterp, nil
+	case "off":
+		return FusionOff, nil
+	default:
+		return FusionCompiled, fmt.Errorf("unknown fusion mode %q (want compile, interp, or off)", s)
+	}
+}
+
+// defaultFusion is the process-wide mode Optimize uses when the caller does
+// not pick one explicitly — how dmmlbench's -fuse flag reaches experiment
+// code that calls plain Optimize.
+var defaultFusion atomic.Uint32
+
+// DefaultFusion returns the process-wide fusion mode (FusionCompiled unless
+// SetDefaultFusion changed it).
+func DefaultFusion() FusionMode { return FusionMode(defaultFusion.Load()) }
+
+// SetDefaultFusion sets the mode plain Optimize calls use. Explicit
+// OptimizeFusion callers are unaffected.
+func SetDefaultFusion(m FusionMode) { defaultFusion.Store(uint32(m)) }
+
+// OptimizeFusion is Optimize with an explicit fusion mode. FusionCompiled is
+// exactly Optimize; FusionOff is exactly OptimizeUnfused; FusionInterp
+// optimizes with fusion and then pins every region's micro-op program to the
+// interpreter backend, so A/B runs differ only in how the fused loop body
+// executes, not in what was fused.
+func (p *Program) OptimizeFusion(vars map[string]Shape, mode FusionMode) *Program {
+	if mode == FusionOff {
+		return p.optimize(vars, false)
+	}
+	opt := p.optimize(vars, true)
+	if mode == FusionInterp {
+		opt.forEachFused(func(f *Fused) { f.Prog.SetBackend(la.FuseBackendInterp) })
+	}
+	return opt
+}

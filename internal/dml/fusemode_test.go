@@ -1,0 +1,142 @@
+package dml
+
+// FusionMode plumbing: the -fuse flag's three modes must parse, must select
+// the backend they claim, and — the property the escape hatch exists for —
+// compile and interp modes must agree on every program the generators can
+// produce. FuzzCompiledFusionSemantics is the native-fuzzing form CI runs.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFusionMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FusionMode
+		err  bool
+	}{
+		{"compile", FusionCompiled, false},
+		{"compiled", FusionCompiled, false},
+		{"interp", FusionInterp, false},
+		{"off", FusionOff, false},
+		{"", FusionCompiled, true},
+		{"on", FusionCompiled, true},
+	} {
+		got, err := ParseFusionMode(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseFusionMode(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	for _, m := range []FusionMode{FusionCompiled, FusionInterp, FusionOff} {
+		back, err := ParseFusionMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v -> %q -> %v, %v", m, m.String(), back, err)
+		}
+	}
+}
+
+// TestOptimizeFusionModes: one concrete script through all three modes —
+// off produces no regions, interp fuses but never runs compiled kernels,
+// compile fuses and runs every region compiled; all three agree.
+func TestOptimizeFusionModes(t *testing.T) {
+	const rows, cols = 31, 7
+	src := `h = sigmoid(X * 2 + 1) * X - X / 3
+loss = sum((h - Y) ^ 2)`
+	shapes := map[string]Shape{"X": matShape(rows, cols), "Y": matShape(rows, cols)}
+	r := rand.New(rand.NewSource(51))
+	env := Env{"X": Matrix(randDense(r, rows, cols)), "Y": Matrix(randDense(r, rows, cols))}
+	prog := mustParse(t, src)
+
+	off := prog.OptimizeFusion(shapes, FusionOff)
+	if n := off.FusedRegionCount(); n != 0 {
+		t.Fatalf("FusionOff left %d fused regions", n)
+	}
+	wantVal, _, err := off.Run(cloneEnv(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interp := prog.OptimizeFusion(shapes, FusionInterp)
+	if interp.FusedRegionCount() == 0 {
+		t.Fatal("FusionInterp produced no fused regions")
+	}
+	gotI, statsI, err := interp.Run(cloneEnv(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsI.FusedRegions == 0 || statsI.FusedCompiled != 0 {
+		t.Fatalf("interp mode: FusedRegions=%d FusedCompiled=%d, want >0 and 0",
+			statsI.FusedRegions, statsI.FusedCompiled)
+	}
+
+	compiled := prog.OptimizeFusion(shapes, FusionCompiled)
+	gotC, statsC, err := compiled.Run(cloneEnv(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsC.FusedRegions == 0 || statsC.FusedCompiled != statsC.FusedRegions {
+		t.Fatalf("compile mode: FusedRegions=%d FusedCompiled=%d, want all compiled",
+			statsC.FusedRegions, statsC.FusedCompiled)
+	}
+
+	if !valueClose(wantVal, gotI, 1e-8) || !valueClose(wantVal, gotC, 1e-8) {
+		t.Fatalf("modes disagree: off %v, interp %v, compile %v", wantVal, gotI, gotC)
+	}
+}
+
+// compiledInterpAgree runs one generated case under both fused backends and
+// reports whether they agree (and errors identically).
+func compiledInterpAgree(t *testing.T, seed int64) bool {
+	r := rand.New(rand.NewSource(seed))
+	const rows, cols = 9, 5
+	var expr Node
+	var sh map[string]Shape
+	var env Env
+	if r.Intn(2) == 0 {
+		expr = genFusedProgramExpr(r, 1+r.Intn(4))
+		sh = fuseTestShapes(rows, cols)
+		env = fuseTestEnv(r, rows, cols)
+	} else {
+		const side = 5
+		expr = genExpr(r, 2+r.Intn(3))
+		sh = map[string]Shape{"A": matShape(side, side), "B": matShape(side, side)}
+		env = Env{"A": Matrix(randDense(r, side, side)), "B": Matrix(randDense(r, side, side))}
+	}
+	prog := &Program{Stmts: []Stmt{{Name: "out", Expr: expr}}}
+
+	gotC, _, errC := prog.OptimizeFusion(sh, FusionCompiled).Run(cloneEnv(env))
+	gotI, _, errI := prog.OptimizeFusion(sh, FusionInterp).Run(cloneEnv(env))
+	if (errC == nil) != (errI == nil) {
+		t.Logf("seed %d expr %s: compiled err %v, interp err %v", seed, expr, errC, errI)
+		return false
+	}
+	if errC == nil && !valueClose(gotC, gotI, 1e-8) {
+		t.Logf("seed %d expr %s: compiled %v, interp %v", seed, expr, gotC, gotI)
+		return false
+	}
+	return true
+}
+
+// Property: the compiled backend is semantically invisible — any generated
+// program evaluates the same under -fuse=compile and -fuse=interp.
+func TestCompiledFusionEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool { return compiledInterpAgree(t, seed) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Native fuzz target: same property, driven by the fuzzer's seed corpus
+// (make fuzz-smoke runs this alongside FuzzFusionSemantics).
+func FuzzCompiledFusionSemantics(f *testing.F) {
+	for _, seed := range []int64{2, 11, 64, 4096, 123456} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if !compiledInterpAgree(t, seed) {
+			t.Fatalf("compiled and interpreted fused backends disagree (seed %d)", seed)
+		}
+	})
+}

@@ -15,9 +15,11 @@ import (
 // sizes that flow through constants, eye(n), nrow/ncol, and indexing — is
 // available to the size-aware rewrites.
 // After the algebraic rewrites, the operator-fusion pass (fuse.go) collapses
-// single-consumer elementwise regions into Cell and RowAgg templates.
+// single-consumer elementwise regions into Cell and RowAgg templates, which
+// execute through the process-wide default fusion mode (compiled kernels
+// unless SetDefaultFusion picked the interpreter or disabled fusion).
 func (p *Program) Optimize(vars map[string]Shape) *Program {
-	return p.optimize(vars, true)
+	return p.OptimizeFusion(vars, DefaultFusion())
 }
 
 // OptimizeUnfused applies every rewrite except operator fusion; the fusion

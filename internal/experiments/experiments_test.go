@@ -14,7 +14,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 17 {
+	if len(tables) != 18 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	seen := map[string]bool{}
@@ -289,6 +289,29 @@ func TestE15FusionShapes(t *testing.T) {
 		fuI := cellFloat(t, tbl, i, "cells_fused")
 		if fuI > 0 && unI < 3*fuI {
 			t.Fatalf("row %d (%s): fusion saved only %.2fx cells", i, tbl.Rows[i][0], unI/fuI)
+		}
+	}
+}
+
+// Shape check: the compiled-fusion A/B runs every region compiled on the
+// compiled side (the experiment itself errors if not) and produces sane
+// speedup numbers — positive, finite, and parsed from every row.
+func TestE16CompiledFusionShapes(t *testing.T) {
+	tbl, err := E16CompiledFusion(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if sp := cellFloat(t, tbl, i, "speedup"); sp <= 0 || math.IsInf(sp, 0) || math.IsNaN(sp) {
+			t.Fatalf("row %d (%s): speedup %v", i, tbl.Rows[i][0], sp)
+		}
+		regions := cellFloat(t, tbl, i, "regions")
+		compiled := cellFloat(t, tbl, i, "compiled")
+		if regions < 1 || compiled != regions {
+			t.Fatalf("row %d (%s): regions=%v compiled=%v", i, tbl.Rows[i][0], regions, compiled)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"dmml/internal/pool"
 )
@@ -93,7 +94,21 @@ type FuseProgram struct {
 	nin   int // number of inputs
 	depth int // maximum operand-stack depth
 	arith int // arithmetic ops per element (excludes loads/consts)
+
+	// backend selects interpretation vs compilation to closure kernels; the
+	// compiled path caches one kernel per input-kind signature (fusedc.go).
+	// Set the backend before first execution: kernelFor reads it unlocked.
+	backend FuseBackend
+	kmu     sync.Mutex
+	kernels atomic.Pointer[map[uint64]*fusedKernel]
 }
+
+// SetBackend selects the execution backend. Call before the program's first
+// execution; the dispatch path reads the field without synchronization.
+func (p *FuseProgram) SetBackend(b FuseBackend) { p.backend = b }
+
+// Backend reports the program's execution backend.
+func (p *FuseProgram) Backend() FuseBackend { return p.backend }
 
 // CompileFused validates a postfix program over nin inputs: every opcode
 // must be known, stack effects must balance to exactly one result, loads
@@ -159,6 +174,13 @@ type fuseCtx struct {
 	stack   [fuseMaxDepth]fuseSlot
 	scratch [fuseMaxDepth][]float64
 	buf     []float64
+
+	// Bindings for the compiled backend: closure kernels capture no per-call
+	// state, so the inputs, hoisted dynamic scalars, and logical column count
+	// of the current call travel through the pooled context instead.
+	ins  []FusedInput
+	sv   []float64
+	cols int
 }
 
 var fuseCtxPool = sync.Pool{New: func() any { return new(fuseCtx) }}
@@ -185,6 +207,7 @@ func putFuseCtx(ctx *fuseCtx) {
 	for i := range ctx.stack {
 		ctx.stack[i] = fuseSlot{}
 	}
+	ctx.ins, ctx.sv, ctx.cols = nil, nil, 0
 	fuseCtxPool.Put(ctx)
 }
 
@@ -266,6 +289,12 @@ func csrLoadRange(c *CSR, dst []float64, lo, cols int) {
 	}
 }
 
+// fusedCheckInputs validates an input list against the program and the
+// logical shape. Branch order matters: an ambiguous input that sets both D
+// and C must be rejected before the dense branch can win silently and
+// report a misleading dense-shape mismatch for what is really a malformed
+// operand — the compiled backend picks its load kernels by the same
+// kind test, so ambiguity has to die here.
 func fusedCheckInputs(p *FuseProgram, ins []FusedInput, rows, cols int) {
 	if len(ins) != p.nin {
 		panic(fmt.Sprintf("la: fused program wants %d inputs, got %d", p.nin, len(ins)))
@@ -273,13 +302,15 @@ func fusedCheckInputs(p *FuseProgram, ins []FusedInput, rows, cols int) {
 	for i, in := range ins {
 		switch {
 		case in.IsScalar:
+		case in.D != nil && in.C != nil:
+			panic(fmt.Sprintf("la: fused input %d sets both dense and sparse operands", i))
 		case in.D != nil:
 			if in.D.rows != rows || in.D.cols != cols {
-				panic(fmt.Sprintf("la: fused input %d is %dx%d, want %dx%d", i, in.D.rows, in.D.cols, rows, cols))
+				panic(fmt.Sprintf("la: fused dense input %d is %dx%d, want %dx%d", i, in.D.rows, in.D.cols, rows, cols))
 			}
 		case in.C != nil:
 			if in.C.rows != rows || in.C.cols != cols {
-				panic(fmt.Sprintf("la: fused input %d is %dx%d, want %dx%d", i, in.C.rows, in.C.cols, rows, cols))
+				panic(fmt.Sprintf("la: fused sparse input %d is %dx%d, want %dx%d", i, in.C.rows, in.C.cols, rows, cols))
 			}
 		default:
 			panic(fmt.Sprintf("la: fused input %d is neither scalar nor matrix", i))
@@ -301,36 +332,55 @@ func FusedCell(p *FuseProgram, ins []FusedInput, rows, cols int) *Dense {
 func FusedCellInto(out *Dense, p *FuseProgram, ins []FusedInput) *Dense {
 	rows, cols := out.rows, out.cols
 	fusedCheckInputs(p, ins, rows, cols)
-	sw := mFusedCellTimer.Start()
+	k, sv := p.prepare(ins)
+	t := mFusedCellTimer
+	if k != nil {
+		t = mFusedCellCTimer
+		if k.flatCell != nil {
+			mFusedFlat.Inc()
+		}
+	}
+	sw := t.Start()
 	defer sw.Stop()
 	mFusedCellCalls.Inc()
 	total := rows * cols
 	mFlops.Add(int64(p.arith) * int64(total))
 	work := total * (p.arith + 1)
 	if work < parallelThreshold || pool.SerialNow() {
-		fusedCellRange(p, ins, out.data, cols, 0, total)
-		return out
+		fusedCellRange(p, k, ins, sv, out.data, cols, 0, total)
+	} else {
+		nt := (total + fusedTileW - 1) / fusedTileW
+		pool.Do(nt, pool.Grain(nt, fusedTileW*(p.arith+1)), func(_, t0, t1 int) {
+			hi := t1 * fusedTileW
+			if hi > total {
+				hi = total
+			}
+			fusedCellRange(p, k, ins, sv, out.data, cols, t0*fusedTileW, hi)
+		})
 	}
-	nt := (total + fusedTileW - 1) / fusedTileW
-	pool.Do(nt, pool.Grain(nt, fusedTileW*(p.arith+1)), func(_, t0, t1 int) {
-		hi := t1 * fusedTileW
-		if hi > total {
-			hi = total
-		}
-		fusedCellRange(p, ins, out.data, cols, t0*fusedTileW, hi)
-	})
+	p.release(sv)
 	return out
 }
 
-func fusedCellRange(p *FuseProgram, ins []FusedInput, dstAll []float64, cols, lo, hi int) {
+func fusedCellRange(p *FuseProgram, k *fusedKernel, ins []FusedInput, sv, dstAll []float64, cols, lo, hi int) {
+	if k != nil && k.flatCell != nil {
+		// Fully specialized template: one pass, no closure chain, no stack
+		// scratch — only the tile-wide buffer the sigmoid templates stage
+		// their affine argument in.
+		scr := pool.GetF64(fusedTileW)
+		k.flatCell(ins, sv, dstAll[lo:hi], scr, lo, hi)
+		pool.PutF64(scr)
+		return
+	}
 	ctx := getFuseCtx(p.depth)
+	ctx.ins, ctx.sv, ctx.cols = ins, sv, cols
 	for at := lo; at < hi; at += fusedTileW {
 		end := min(at+fusedTileW, hi)
 		dst := dstAll[at:end]
 		// Bind stack position 0 to the output tile: the final op of the
 		// program lands its vector there, so no copy-out pass is needed.
 		ctx.scratch[0] = dst
-		res := p.evalTile(ctx, ins, cols, at, end)
+		res := fuseEvalTile(p, k, ctx, ins, cols, at, end)
 		switch {
 		case res.vec == nil:
 			for i := range dst {
@@ -341,6 +391,17 @@ func fusedCellRange(p *FuseProgram, ins []FusedInput, dstAll []float64, cols, lo
 		}
 	}
 	putFuseCtx(ctx)
+}
+
+// fuseEvalTile produces the program's value over [lo,hi): one direct call
+// into the compiled closure tree when a kernel is bound, else a trip
+// through the micro-op interpreter. Compiled kernels always produce a
+// vector (scalar-rooted programs are refused at compile time).
+func fuseEvalTile(p *FuseProgram, k *fusedKernel, ctx *fuseCtx, ins []FusedInput, cols, lo, hi int) fuseSlot {
+	if k != nil {
+		return fuseSlot{vec: k.root(ctx, lo, hi)}
+	}
+	return p.evalTile(ctx, ins, cols, lo, hi)
 }
 
 // zeroAnnihilatingCSR reports whether the program has exactly one matrix
@@ -391,14 +452,13 @@ func zeroAnnihilatingCSR(p *FuseProgram, ins []FusedInput) (int, bool) {
 // the zero cells entirely and only visits stored non-zeros.
 func FusedSum(p *FuseProgram, ins []FusedInput, rows, cols int) float64 {
 	fusedCheckInputs(p, ins, rows, cols)
-	sw := mFusedAggTimer.Start()
-	defer sw.Stop()
-	mFusedAggCalls.Inc()
 	total := rows * cols
 	if matIdx, ok := zeroAnnihilatingCSR(p, ins); ok {
 		// Re-point the sparse input at a flat dense view of its stored
 		// values: the program runs over nnz elements instead of rows·cols,
-		// and the skipped zero cells contribute exactly 0 to the sum.
+		// and the skipped zero cells contribute exactly 0 to the sum. The
+		// rewrite happens before kernel selection, so the compiled backend
+		// specializes for the dense shadow and still gets the skip.
 		c := ins[matIdx].C
 		if c.NNZ() == 0 {
 			return 0
@@ -409,10 +469,23 @@ func FusedSum(p *FuseProgram, ins []FusedInput, rows, cols int) float64 {
 		shadow[matIdx] = FusedInput{D: &Dense{rows: 1, cols: c.NNZ(), data: c.vals}}
 		ins, cols, total = shadow, c.NNZ(), c.NNZ()
 	}
+	k, sv := p.prepare(ins)
+	t := mFusedAggTimer
+	if k != nil {
+		t = mFusedAggCTimer
+		if k.flatSum != nil {
+			mFusedFlat.Inc()
+		}
+	}
+	sw := t.Start()
+	defer sw.Stop()
+	mFusedAggCalls.Inc()
 	mFlops.Add(int64(p.arith+1) * int64(total))
 	work := total * (p.arith + 1)
 	if work < parallelThreshold || pool.SerialNow() {
-		return fusedSumRange(p, ins, cols, 0, total)
+		s := fusedSumRange(p, k, ins, sv, cols, 0, total)
+		p.release(sv)
+		return s
 	}
 	// Per-slot scalar partials, stride 8 to keep workers off a shared line.
 	partials := pool.GetF64Zeroed(pool.Workers() * 8)
@@ -422,22 +495,27 @@ func FusedSum(p *FuseProgram, ins []FusedInput, rows, cols int) float64 {
 		if hi > total {
 			hi = total
 		}
-		partials[slot*8] += fusedSumRange(p, ins, cols, t0*fusedTileW, hi)
+		partials[slot*8] += fusedSumRange(p, k, ins, sv, cols, t0*fusedTileW, hi)
 	})
 	var s float64
 	for i := 0; i < len(partials); i += 8 {
 		s += partials[i]
 	}
 	pool.PutF64(partials)
+	p.release(sv)
 	return s
 }
 
-func fusedSumRange(p *FuseProgram, ins []FusedInput, cols, lo, hi int) float64 {
+func fusedSumRange(p *FuseProgram, k *fusedKernel, ins []FusedInput, sv []float64, cols, lo, hi int) float64 {
+	if k != nil && k.flatSum != nil {
+		return k.flatSum(ins, sv, lo, hi)
+	}
 	ctx := getFuseCtx(p.depth)
+	ctx.ins, ctx.sv, ctx.cols = ins, sv, cols
 	var s float64
 	for at := lo; at < hi; at += fusedTileW {
 		end := min(at+fusedTileW, hi)
-		res := p.evalTile(ctx, ins, cols, at, end)
+		res := fuseEvalTile(p, k, ctx, ins, cols, at, end)
 		if res.vec == nil {
 			s += res.s * float64(end-at)
 		} else {
@@ -469,26 +547,40 @@ func fusedRowVec(dst []float64, p *FuseProgram, ins []FusedInput, rows, cols int
 	if len(dst) != rows {
 		panic(fmt.Sprintf("la: fused row aggregate dst len %d for %d rows", len(dst), rows))
 	}
-	sw := mFusedAggTimer.Start()
+	k, sv := p.prepare(ins)
+	t := mFusedAggTimer
+	if k != nil {
+		t = mFusedAggCTimer
+		if k.flatRow != nil {
+			mFusedFlat.Inc()
+		}
+	}
+	sw := t.Start()
 	defer sw.Stop()
 	mFusedAggCalls.Inc()
 	mFlops.Add(int64(p.arith+1) * int64(rows) * int64(cols))
 	work := rows * cols * (p.arith + 1)
 	if work < parallelThreshold || rows < 2 || pool.SerialNow() {
-		fusedRowVecRange(p, ins, cols, v, dst, 0, rows)
-		return dst
+		fusedRowVecRange(p, k, ins, sv, cols, v, dst, 0, rows)
+	} else {
+		pool.Do(rows, pool.Grain(rows, cols*(p.arith+1)), func(_, r0, r1 int) {
+			fusedRowVecRange(p, k, ins, sv, cols, v, dst, r0, r1)
+		})
 	}
-	pool.Do(rows, pool.Grain(rows, cols*(p.arith+1)), func(_, r0, r1 int) {
-		fusedRowVecRange(p, ins, cols, v, dst, r0, r1)
-	})
+	p.release(sv)
 	return dst
 }
 
 // fusedRowVecRange fills dst[r0:r1) with per-row sums (v == nil) or row·v
 // dot products. Narrow matrices batch several rows per interpreted tile so
 // dispatch overhead amortizes; wide rows chunk along columns instead.
-func fusedRowVecRange(p *FuseProgram, ins []FusedInput, cols int, v, dst []float64, r0, r1 int) {
+func fusedRowVecRange(p *FuseProgram, k *fusedKernel, ins []FusedInput, sv []float64, cols int, v, dst []float64, r0, r1 int) {
+	if k != nil && k.flatRow != nil {
+		k.flatRow(ins, sv, v, dst, cols, r0, r1)
+		return
+	}
 	ctx := getFuseCtx(p.depth)
+	ctx.ins, ctx.sv, ctx.cols = ins, sv, cols
 	if cols <= fusedTileW {
 		rowsPerTile := fusedTileW / cols
 		if rowsPerTile < 1 {
@@ -496,7 +588,7 @@ func fusedRowVecRange(p *FuseProgram, ins []FusedInput, cols int, v, dst []float
 		}
 		for r := r0; r < r1; r += rowsPerTile {
 			rEnd := min(r+rowsPerTile, r1)
-			res := p.evalTile(ctx, ins, cols, r*cols, rEnd*cols)
+			res := fuseEvalTile(p, k, ctx, ins, cols, r*cols, rEnd*cols)
 			if res.vec == nil {
 				base := res.s * float64(cols)
 				if v != nil {
@@ -521,7 +613,7 @@ func fusedRowVecRange(p *FuseProgram, ins []FusedInput, cols int, v, dst []float
 			var s float64
 			for c0 := 0; c0 < cols; c0 += fusedTileW {
 				c1 := min(c0+fusedTileW, cols)
-				res := p.evalTile(ctx, ins, cols, i*cols+c0, i*cols+c1)
+				res := fuseEvalTile(p, k, ctx, ins, cols, i*cols+c0, i*cols+c1)
 				switch {
 				case res.vec == nil && v == nil:
 					s += res.s * float64(c1-c0)
@@ -547,7 +639,12 @@ func FusedColSumsInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, col
 	if len(dst) != cols {
 		panic(fmt.Sprintf("la: FusedColSumsInto dst len %d for %d cols", len(dst), cols))
 	}
-	sw := mFusedAggTimer.Start()
+	k, sv := p.prepare(ins)
+	t := mFusedAggTimer
+	if k != nil {
+		t = mFusedAggCTimer
+	}
+	sw := t.Start()
 	defer sw.Stop()
 	mFusedAggCalls.Inc()
 	mFlops.Add(int64(p.arith+1) * int64(rows) * int64(cols))
@@ -556,7 +653,8 @@ func FusedColSumsInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, col
 	}
 	work := rows * cols * (p.arith + 1)
 	if work < parallelThreshold || rows < 2 || pool.SerialNow() {
-		fusedColSumsRange(p, ins, cols, dst, 0, rows)
+		fusedColSumsRange(p, k, ins, sv, cols, dst, 0, rows)
+		p.release(sv)
 		return dst
 	}
 	partials := make([][]float64, pool.Workers())
@@ -567,7 +665,7 @@ func FusedColSumsInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, col
 			acc = pool.GetF64Zeroed(cols)
 			partials[slot] = acc
 		}
-		fusedColSumsRange(p, ins, cols, acc, r0, r1)
+		fusedColSumsRange(p, k, ins, sv, cols, acc, r0, r1)
 	})
 	for _, part := range partials[1:] {
 		if part != nil {
@@ -575,11 +673,13 @@ func FusedColSumsInto(dst []float64, p *FuseProgram, ins []FusedInput, rows, col
 			pool.PutF64(part)
 		}
 	}
+	p.release(sv)
 	return dst
 }
 
-func fusedColSumsRange(p *FuseProgram, ins []FusedInput, cols int, acc []float64, r0, r1 int) {
+func fusedColSumsRange(p *FuseProgram, k *fusedKernel, ins []FusedInput, sv []float64, cols int, acc []float64, r0, r1 int) {
 	ctx := getFuseCtx(p.depth)
+	ctx.ins, ctx.sv, ctx.cols = ins, sv, cols
 	if cols <= fusedTileW {
 		rowsPerTile := fusedTileW / cols
 		if rowsPerTile < 1 {
@@ -587,7 +687,7 @@ func fusedColSumsRange(p *FuseProgram, ins []FusedInput, cols int, acc []float64
 		}
 		for r := r0; r < r1; r += rowsPerTile {
 			rEnd := min(r+rowsPerTile, r1)
-			res := p.evalTile(ctx, ins, cols, r*cols, rEnd*cols)
+			res := fuseEvalTile(p, k, ctx, ins, cols, r*cols, rEnd*cols)
 			if res.vec == nil {
 				add := res.s * float64(rEnd-r)
 				for j := range acc {
@@ -603,7 +703,7 @@ func fusedColSumsRange(p *FuseProgram, ins []FusedInput, cols int, acc []float64
 		for i := r0; i < r1; i++ {
 			for c0 := 0; c0 < cols; c0 += fusedTileW {
 				c1 := min(c0+fusedTileW, cols)
-				res := p.evalTile(ctx, ins, cols, i*cols+c0, i*cols+c1)
+				res := fuseEvalTile(p, k, ctx, ins, cols, i*cols+c0, i*cols+c1)
 				if res.vec == nil {
 					for j := c0; j < c1; j++ {
 						acc[j] += res.s
@@ -682,132 +782,274 @@ func fuseSigmoid(m float64) float64 {
 	return e / (1 + e)
 }
 
-// fuseBinInto applies a binary micro-op over a tile. The hot vector-vector
+// Tile loop kernels. Each named function is one micro-op's inner loop over
+// a tile; the interpreter's fuseBinInto/fuseUnInto switches and the compiled
+// backend's closure constructors both dispatch to these, so the two
+// execution paths are bit-identical by construction. The hot vector-vector
 // and vector-scalar adds/subs/muls are 4-way unrolled like Dot; dst may
-// alias a (in-place update of the same stack position).
+// alias an operand (in-place update of the same stack position).
+
+//dmml:noalloc
+func vvAdd(dst, x, y []float64) {
+	x, y = x[:len(dst)], y[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] + y[i]
+		dst[i+1] = x[i+1] + y[i+1]
+		dst[i+2] = x[i+2] + y[i+2]
+		dst[i+3] = x[i+3] + y[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+//dmml:noalloc
+func vvSub(dst, x, y []float64) {
+	x, y = x[:len(dst)], y[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] - y[i]
+		dst[i+1] = x[i+1] - y[i+1]
+		dst[i+2] = x[i+2] - y[i+2]
+		dst[i+3] = x[i+3] - y[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+//dmml:noalloc
+func vvMul(dst, x, y []float64) {
+	x, y = x[:len(dst)], y[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] * y[i]
+		dst[i+1] = x[i+1] * y[i+1]
+		dst[i+2] = x[i+2] * y[i+2]
+		dst[i+3] = x[i+3] * y[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+//dmml:noalloc
+func vvDiv(dst, x, y []float64) {
+	x, y = x[:len(dst)], y[:len(dst)]
+	for i := range dst {
+		dst[i] = x[i] / y[i]
+	}
+}
+
+//dmml:noalloc
+func vvPow(dst, x, y []float64) {
+	x, y = x[:len(dst)], y[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Pow(x[i], y[i])
+	}
+}
+
+//dmml:noalloc
+func vsAdd(dst, x []float64, s float64) {
+	x = x[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] + s
+		dst[i+1] = x[i+1] + s
+		dst[i+2] = x[i+2] + s
+		dst[i+3] = x[i+3] + s
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = x[i] + s
+	}
+}
+
+//dmml:noalloc
+func vsSub(dst, x []float64, s float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = x[i] - s
+	}
+}
+
+//dmml:noalloc
+func vsMul(dst, x []float64, s float64) {
+	x = x[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] * s
+		dst[i+1] = x[i+1] * s
+		dst[i+2] = x[i+2] * s
+		dst[i+3] = x[i+3] * s
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = x[i] * s
+	}
+}
+
+//dmml:noalloc
+func vsDiv(dst, x []float64, s float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = x[i] / s
+	}
+}
+
+//dmml:noalloc
+func vsPow(dst, x []float64, s float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Pow(x[i], s)
+	}
+}
+
+// svAdd and svMul delegate to their vs twins: IEEE addition and
+// multiplication are commutative bit for bit, so s∘y and y∘s agree exactly.
+
+//dmml:noalloc
+func svAdd(dst []float64, s float64, y []float64) { vsAdd(dst, y, s) }
+
+//dmml:noalloc
+func svMul(dst []float64, s float64, y []float64) { vsMul(dst, y, s) }
+
+//dmml:noalloc
+func svSub(dst []float64, s float64, y []float64) {
+	y = y[:len(dst)]
+	for i := range dst {
+		dst[i] = s - y[i]
+	}
+}
+
+//dmml:noalloc
+func svDiv(dst []float64, s float64, y []float64) {
+	y = y[:len(dst)]
+	for i := range dst {
+		dst[i] = s / y[i]
+	}
+}
+
+//dmml:noalloc
+func svPow(dst []float64, s float64, y []float64) {
+	y = y[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Pow(s, y[i])
+	}
+}
+
+//dmml:noalloc
+func uNeg(dst, x []float64) {
+	x = x[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = -x[i]
+		dst[i+1] = -x[i+1]
+		dst[i+2] = -x[i+2]
+		dst[i+3] = -x[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = -x[i]
+	}
+}
+
+//dmml:noalloc
+func uSq(dst, x []float64) {
+	x = x[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] * x[i]
+		dst[i+1] = x[i+1] * x[i+1]
+		dst[i+2] = x[i+2] * x[i+2]
+		dst[i+3] = x[i+3] * x[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = x[i] * x[i]
+	}
+}
+
+//dmml:noalloc
+func uExp(dst, x []float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Exp(x[i])
+	}
+}
+
+//dmml:noalloc
+func uLog(dst, x []float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Log(x[i])
+	}
+}
+
+//dmml:noalloc
+func uSqrt(dst, x []float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Sqrt(x[i])
+	}
+}
+
+//dmml:noalloc
+func uAbs(dst, x []float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Abs(x[i])
+	}
+}
+
+//dmml:noalloc
+func uSigmoid(dst, x []float64) {
+	x = x[:len(dst)]
+	for i := range dst {
+		dst[i] = fuseSigmoid(x[i])
+	}
+}
+
+// fuseBinInto applies a binary micro-op over a tile by dispatching to the
+// named loop kernels above.
 //dmml:noalloc
 func fuseBinInto(code FuseOpCode, dst []float64, a, b fuseSlot) {
 	switch {
 	case a.vec != nil && b.vec != nil:
-		x, y := a.vec[:len(dst)], b.vec[:len(dst)]
 		switch code {
 		case FuseAdd:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = x[i] + y[i]
-				dst[i+1] = x[i+1] + y[i+1]
-				dst[i+2] = x[i+2] + y[i+2]
-				dst[i+3] = x[i+3] + y[i+3]
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = x[i] + y[i]
-			}
+			vvAdd(dst, a.vec, b.vec)
 		case FuseSub:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = x[i] - y[i]
-				dst[i+1] = x[i+1] - y[i+1]
-				dst[i+2] = x[i+2] - y[i+2]
-				dst[i+3] = x[i+3] - y[i+3]
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = x[i] - y[i]
-			}
+			vvSub(dst, a.vec, b.vec)
 		case FuseMul:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = x[i] * y[i]
-				dst[i+1] = x[i+1] * y[i+1]
-				dst[i+2] = x[i+2] * y[i+2]
-				dst[i+3] = x[i+3] * y[i+3]
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = x[i] * y[i]
-			}
+			vvMul(dst, a.vec, b.vec)
 		case FuseDiv:
-			for i := range dst {
-				dst[i] = x[i] / y[i]
-			}
+			vvDiv(dst, a.vec, b.vec)
 		default: // FusePow
-			for i := range dst {
-				dst[i] = math.Pow(x[i], y[i])
-			}
+			vvPow(dst, a.vec, b.vec)
 		}
 	case a.vec != nil:
-		x, s := a.vec[:len(dst)], b.s
 		switch code {
 		case FuseAdd:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = x[i] + s
-				dst[i+1] = x[i+1] + s
-				dst[i+2] = x[i+2] + s
-				dst[i+3] = x[i+3] + s
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = x[i] + s
-			}
+			vsAdd(dst, a.vec, b.s)
 		case FuseSub:
-			for i := range dst {
-				dst[i] = x[i] - s
-			}
+			vsSub(dst, a.vec, b.s)
 		case FuseMul:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = x[i] * s
-				dst[i+1] = x[i+1] * s
-				dst[i+2] = x[i+2] * s
-				dst[i+3] = x[i+3] * s
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = x[i] * s
-			}
+			vsMul(dst, a.vec, b.s)
 		case FuseDiv:
-			for i := range dst {
-				dst[i] = x[i] / s
-			}
+			vsDiv(dst, a.vec, b.s)
 		default: // FusePow
-			for i := range dst {
-				dst[i] = math.Pow(x[i], s)
-			}
+			vsPow(dst, a.vec, b.s)
 		}
 	default: // scalar ∘ vector
-		s, y := a.s, b.vec[:len(dst)]
 		switch code {
 		case FuseAdd:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = s + y[i]
-				dst[i+1] = s + y[i+1]
-				dst[i+2] = s + y[i+2]
-				dst[i+3] = s + y[i+3]
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = s + y[i]
-			}
+			svAdd(dst, a.s, b.vec)
 		case FuseSub:
-			for i := range dst {
-				dst[i] = s - y[i]
-			}
+			svSub(dst, a.s, b.vec)
 		case FuseMul:
-			i := 0
-			for ; i+4 <= len(dst); i += 4 {
-				dst[i] = s * y[i]
-				dst[i+1] = s * y[i+1]
-				dst[i+2] = s * y[i+2]
-				dst[i+3] = s * y[i+3]
-			}
-			for ; i < len(dst); i++ {
-				dst[i] = s * y[i]
-			}
+			svMul(dst, a.s, b.vec)
 		case FuseDiv:
-			for i := range dst {
-				dst[i] = s / y[i]
-			}
+			svDiv(dst, a.s, b.vec)
 		default: // FusePow
-			for i := range dst {
-				dst[i] = math.Pow(s, y[i])
-			}
+			svPow(dst, a.s, b.vec)
 		}
 	}
 }
@@ -815,49 +1057,20 @@ func fuseBinInto(code FuseOpCode, dst []float64, a, b fuseSlot) {
 // fuseUnInto applies a unary micro-op over a tile; dst may alias x.
 //dmml:noalloc
 func fuseUnInto(code FuseOpCode, dst, x []float64) {
-	x = x[:len(dst)]
 	switch code {
 	case FuseNeg:
-		i := 0
-		for ; i+4 <= len(dst); i += 4 {
-			dst[i] = -x[i]
-			dst[i+1] = -x[i+1]
-			dst[i+2] = -x[i+2]
-			dst[i+3] = -x[i+3]
-		}
-		for ; i < len(dst); i++ {
-			dst[i] = -x[i]
-		}
+		uNeg(dst, x)
 	case FuseSq:
-		i := 0
-		for ; i+4 <= len(dst); i += 4 {
-			dst[i] = x[i] * x[i]
-			dst[i+1] = x[i+1] * x[i+1]
-			dst[i+2] = x[i+2] * x[i+2]
-			dst[i+3] = x[i+3] * x[i+3]
-		}
-		for ; i < len(dst); i++ {
-			dst[i] = x[i] * x[i]
-		}
+		uSq(dst, x)
 	case FuseExp:
-		for i := range dst {
-			dst[i] = math.Exp(x[i])
-		}
+		uExp(dst, x)
 	case FuseLog:
-		for i := range dst {
-			dst[i] = math.Log(x[i])
-		}
+		uLog(dst, x)
 	case FuseSqrt:
-		for i := range dst {
-			dst[i] = math.Sqrt(x[i])
-		}
+		uSqrt(dst, x)
 	case FuseAbs:
-		for i := range dst {
-			dst[i] = math.Abs(x[i])
-		}
+		uAbs(dst, x)
 	default: // FuseSigmoid
-		for i := range dst {
-			dst[i] = fuseSigmoid(x[i])
-		}
+		uSigmoid(dst, x)
 	}
 }

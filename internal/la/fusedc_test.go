@@ -1,0 +1,544 @@
+package la
+
+// Compiled-backend properties: the closure kernels and flat templates must
+// agree with the tile interpreter — bit for bit on cell templates, to the
+// reduction tolerance on aggregates — across dense/CSR/scalar input mixes,
+// at GOMAXPROCS 1 and N; the flat matcher must fire on the template shapes
+// it advertises; the vectorized sigmoid must be bit-identical to the scalar
+// form; and the compiled entry points must hold the zero-alloc contract.
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) &&
+			!(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func relClose(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(b))
+}
+
+// runBothBackends evaluates f under the compiled backend and then the
+// interpreter, restoring the compiled default.
+func runBothBackends(p *FuseProgram, f func() []float64) (compiled, interp []float64) {
+	p.SetBackend(FuseBackendCompiled)
+	compiled = f()
+	p.SetBackend(FuseBackendInterp)
+	interp = f()
+	p.SetBackend(FuseBackendCompiled)
+	return
+}
+
+// TestCompiledMatchesInterpCell: random programs over random input mixes —
+// the compiled closure/flat kernels must reproduce the interpreter bit for
+// bit on element-wise outputs, serial and forced-parallel.
+func TestCompiledMatchesInterpCell(t *testing.T) {
+	oldThresh := parallelThreshold
+	parallelThreshold = 1
+	defer func() { parallelThreshold = oldThresh }()
+
+	r := rand.New(rand.NewSource(31))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows := 1 + rr.Intn(40)
+		cols := 1 + rr.Intn(40)
+		p, ins := genFusedCase(rr, rows, cols)
+		gotC, gotI := runBothBackends(p, func() []float64 {
+			return append([]float64(nil), FusedCell(p, ins, rows, cols).data...)
+		})
+		if !bitsEqual(gotC, gotI) {
+			t.Logf("compiled cell differs from interpreted at %dx%d, %d ops", rows, cols, len(p.ops))
+			return false
+		}
+		return true
+	}
+	eachProcs(func() {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: r}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestCompiledMatchesInterpAgg: every aggregate entry point, compiled vs
+// interpreted, within the reduction tolerance the fused properties grant
+// (flat aggregates reassociate their accumulators).
+func TestCompiledMatchesInterpAgg(t *testing.T) {
+	oldThresh := parallelThreshold
+	parallelThreshold = 1
+	defer func() { parallelThreshold = oldThresh }()
+
+	r := rand.New(rand.NewSource(32))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rows := 1 + rr.Intn(40)
+		cols := 1 + rr.Intn(40)
+		p, ins := genFusedCase(rr, rows, cols)
+		tol := 1e-8 * float64(p.arith+1)
+		v := make([]float64, cols)
+		for j := range v {
+			v[j] = rr.NormFloat64()
+		}
+		sumC, sumI := runBothBackends(p, func() []float64 {
+			return []float64{FusedSum(p, ins, rows, cols)}
+		})
+		if !relClose(sumC[0], sumI[0], tol) {
+			t.Logf("sum: compiled %g vs interp %g", sumC[0], sumI[0])
+			return false
+		}
+		for _, agg := range []struct {
+			name string
+			run  func() []float64
+		}{
+			{"rowSums", func() []float64 { return FusedRowSumsInto(make([]float64, rows), p, ins, rows, cols) }},
+			{"colSums", func() []float64 { return FusedColSumsInto(make([]float64, cols), p, ins, rows, cols) }},
+			{"matvec", func() []float64 { return FusedMatVecInto(make([]float64, rows), p, ins, rows, cols, v) }},
+		} {
+			gotC, gotI := runBothBackends(p, agg.run)
+			for i := range gotC {
+				if !relClose(gotC[i], gotI[i], tol) {
+					t.Logf("%s[%d]: compiled %g vs interp %g", agg.name, i, gotC[i], gotI[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	eachProcs(func() {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: r}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// ops builders for the template table.
+func opsLoad(i int) FusedOp      { return FusedOp{Code: FuseLoad, Arg: i} }
+func opsConst(v float64) FusedOp { return FusedOp{Code: FuseConst, Val: v} }
+func opsOp(c FuseOpCode) FusedOp { return FusedOp{Code: c} }
+
+// TestFlatTemplateMatch pins the pattern matcher: each template shape must
+// compile to its named flat kernel, execute bit-identically to the
+// interpreter (cells) or within reduction tolerance (aggregates), and the
+// CSR specialization of the same program must fall back to the closure
+// tree.
+func TestFlatTemplateMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	rows, cols := 37, 23
+	x := randMat(r, rows, cols, 0)
+	y := randMat(r, rows, cols, 0)
+	z := randMat(r, rows, cols, 0)
+
+	cases := []struct {
+		name string
+		ops  []FusedOp
+		nin  int
+		ins  []FusedInput
+		flat string
+		cell bool // flatCell expected; else flatSum+flatRow
+	}{
+		{
+			// The E15 heavy hitter: sigmoid(x*2 + 1)*x - x/3.
+			name: "sigchain",
+			ops: []FusedOp{opsLoad(0), opsConst(2), opsOp(FuseMul), opsConst(1), opsOp(FuseAdd),
+				opsOp(FuseSigmoid), opsLoad(0), opsOp(FuseMul), opsLoad(0), opsConst(3), opsOp(FuseDiv), opsOp(FuseSub)},
+			nin: 1, ins: []FusedInput{DenseInput(x)}, flat: "cell.sigchain", cell: true,
+		},
+		{
+			name: "sigmoid bare",
+			ops:  []FusedOp{opsLoad(0), opsOp(FuseSigmoid)},
+			nin:  1, ins: []FusedInput{DenseInput(x)}, flat: "cell.sigmoid", cell: true,
+		},
+		{
+			// Dynamic scalar slope: sigmoid(x*s + 0.5) with s an input.
+			name: "sigmoid dynamic affine",
+			ops: []FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseMul), opsConst(0.5), opsOp(FuseAdd),
+				opsOp(FuseSigmoid)},
+			nin: 2, ins: []FusedInput{DenseInput(x), ScalarInput(1.7)}, flat: "cell.sigmoid", cell: true,
+		},
+		{
+			name: "axpy add",
+			ops:  []FusedOp{opsLoad(0), opsLoad(1), opsConst(-1e-4), opsOp(FuseMul), opsOp(FuseAdd)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "cell.axpy", cell: true,
+		},
+		{
+			name: "axpy rsub",
+			ops:  []FusedOp{opsConst(3), opsLoad(1), opsOp(FuseMul), opsLoad(0), opsOp(FuseSub)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "cell.axpy", cell: true,
+		},
+		{
+			name: "scalebin",
+			ops:  []FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseSub), opsConst(0.5), opsOp(FuseMul)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "cell.scalebin", cell: true,
+		},
+		{
+			// Derived scalar: (x*y) / (s1*s2) — prelude computes the divisor.
+			name: "scalebin derived scalar",
+			ops: []FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseMul), opsLoad(2), opsLoad(3),
+				opsOp(FuseMul), opsOp(FuseDiv)},
+			nin: 4, ins: []FusedInput{DenseInput(x), DenseInput(y), ScalarInput(2.5), ScalarInput(0.8)},
+			flat: "cell.scalebin", cell: true,
+		},
+		{
+			name: "agg sqdiff",
+			ops:  []FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseSub), opsOp(FuseSq)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "agg.sqdiff",
+		},
+		{
+			name: "agg sq",
+			ops:  []FusedOp{opsLoad(0), opsOp(FuseSq)},
+			nin:  1, ins: []FusedInput{DenseInput(x)}, flat: "agg.sq",
+		},
+		{
+			name: "agg mul",
+			ops:  []FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseMul)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "agg.mul",
+		},
+		{
+			name: "agg muladd",
+			ops:  []FusedOp{opsLoad(0), opsLoad(0), opsOp(FuseMul), opsLoad(1), opsOp(FuseAdd)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "agg.muladd",
+		},
+		{
+			// x*2 + y: an axpy as a cell, a scaleadd row aggregate.
+			name: "scaleadd dual",
+			ops:  []FusedOp{opsLoad(0), opsConst(2), opsOp(FuseMul), opsLoad(1), opsOp(FuseAdd)},
+			nin:  2, ins: []FusedInput{DenseInput(x), DenseInput(y)}, flat: "cell.axpy",
+		},
+	}
+	_ = z
+	for _, tc := range cases {
+		p, err := CompileFused(tc.ops, tc.nin)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		compiled, flat := p.CompileFusedKernel(tc.ins)
+		if !compiled {
+			t.Errorf("%s: not compiled", tc.name)
+			continue
+		}
+		if flat != tc.flat {
+			t.Errorf("%s: flat %q, want %q", tc.name, flat, tc.flat)
+			continue
+		}
+		k := p.kernelFor(tc.ins)
+		if tc.cell && k.flatCell == nil {
+			t.Errorf("%s: flatCell not installed", tc.name)
+		}
+		if !tc.cell && (k.flatSum == nil || k.flatRow == nil) {
+			t.Errorf("%s: flat aggregate kernels not installed", tc.name)
+		}
+
+		// Execution agreement, flat vs interpreter.
+		gotC, gotI := runBothBackends(p, func() []float64 {
+			return append([]float64(nil), FusedCell(p, tc.ins, rows, cols).data...)
+		})
+		if !bitsEqual(gotC, gotI) {
+			t.Errorf("%s: compiled cell differs from interpreted", tc.name)
+		}
+		v := make([]float64, cols)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		tol := 1e-8 * float64(p.arith+1)
+		sumC, sumI := runBothBackends(p, func() []float64 {
+			return []float64{FusedSum(p, tc.ins, rows, cols)}
+		})
+		if !relClose(sumC[0], sumI[0], tol) {
+			t.Errorf("%s: compiled sum %g vs interp %g", tc.name, sumC[0], sumI[0])
+		}
+		rowC, rowI := runBothBackends(p, func() []float64 {
+			return FusedMatVecInto(make([]float64, rows), p, tc.ins, rows, cols, v)
+		})
+		for i := range rowC {
+			if !relClose(rowC[i], rowI[i], tol) {
+				t.Errorf("%s: compiled matvec[%d] %g vs interp %g", tc.name, i, rowC[i], rowI[i])
+				break
+			}
+		}
+	}
+}
+
+// TestCompiledCSRFallsBackToClosures: the same program compiles per
+// input-kind signature — flat templates are dense-only, but the CSR
+// specialization still runs compiled (closure tree) and still agrees.
+func TestCompiledCSRFallsBackToClosures(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	rows, cols := 19, 31
+	xd := randMat(r, rows, cols, 0.7)
+	y := randMat(r, rows, cols, 0)
+	ops := []FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseSub), opsOp(FuseSq)}
+	p, err := CompileFused(ops, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := []FusedInput{DenseInput(xd), DenseInput(y)}
+	sparse := []FusedInput{CSRInput(CSRFromDense(xd)), DenseInput(y)}
+	if _, flat := p.CompileFusedKernel(dense); flat != "agg.sqdiff" {
+		t.Errorf("dense specialization flat = %q, want agg.sqdiff", flat)
+	}
+	compiled, flat := p.CompileFusedKernel(sparse)
+	if !compiled {
+		t.Fatal("CSR specialization not compiled")
+	}
+	if flat != "" {
+		t.Errorf("CSR specialization matched flat %q, want closure tree", flat)
+	}
+	if k := p.kernelFor(sparse); k.flatSum != nil || k.flatCell != nil {
+		t.Error("CSR specialization installed flat kernels")
+	}
+	gotC, gotI := runBothBackends(p, func() []float64 {
+		return []float64{FusedSum(p, sparse, rows, cols)}
+	})
+	if !relClose(gotC[0], gotI[0], 1e-8*float64(p.arith+1)) {
+		t.Errorf("CSR compiled sum %g vs interp %g", gotC[0], gotI[0])
+	}
+}
+
+// TestCompileRefused: shapes the compiler declines — scalar-rooted
+// programs and input lists too long for the kind signature — run on the
+// interpreter, reported via CompileFusedKernel.
+func TestCompileRefused(t *testing.T) {
+	// Scalar-rooted: constant fold to a broadcast.
+	p, err := CompileFused([]FusedOp{opsConst(2), opsConst(3), opsOp(FuseAdd)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled, _ := p.CompileFusedKernel(nil); compiled {
+		t.Error("scalar-rooted program compiled, want refusal")
+	}
+	if got := FusedCell(p, nil, 2, 3); got.data[0] != 5 {
+		t.Errorf("scalar broadcast = %g, want 5", got.data[0])
+	}
+
+	// 32 inputs: kind signature cannot pack, interpreter handles it.
+	nin := 32
+	var ops []FusedOp
+	ops = append(ops, opsLoad(0))
+	for i := 1; i < nin; i++ {
+		ops = append(ops, opsLoad(i), opsOp(FuseAdd))
+	}
+	p2, err := CompileFused(ops, nin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(35))
+	ins := make([]FusedInput, nin)
+	for i := range ins {
+		ins[i] = DenseInput(randMat(r, 3, 3, 0))
+	}
+	if compiled, _ := p2.CompileFusedKernel(ins); compiled {
+		t.Error("32-input program compiled, want refusal")
+	}
+	want := refFused(p2, ins, 3, 3)
+	if got := FusedCell(p2, ins, 3, 3); !closeSlices(got.data, want, 1e-9) {
+		t.Error("interpreter fallback wrong on 32-input program")
+	}
+
+	// Interp backend: the escape hatch never compiles.
+	p3, err := CompileFused([]FusedOp{opsLoad(0), opsOp(FuseSq)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3.SetBackend(FuseBackendInterp)
+	if compiled, _ := p3.CompileFusedKernel([]FusedInput{DenseInput(randMat(r, 2, 2, 0))}); compiled {
+		t.Error("interp backend compiled a kernel")
+	}
+}
+
+// TestSigmoidTileBitExact: the vectorized sigmoid against the scalar form,
+// over specials (±0, ±Inf, NaN, denormal-adjacent, gate boundaries) and a
+// wide random sweep. This is the invariant that lets the compiled backend
+// replace the interpreter's sigmoid loop.
+func TestSigmoidTileBitExact(t *testing.T) {
+	t.Logf("fuseExpMode = %d", fuseExpMode)
+	xs := []float64{0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		0x1p-28, -0x1p-28, 0x1p-29, -0x1p-29, 1e-300, -1e-300,
+		699.9, -699.9, 700, -700, 710, -710, 36.7, -36.7,
+		math.Ln2, -math.Ln2, 3 * math.Ln2, -3 * math.Ln2}
+	r := rand.New(rand.NewSource(36))
+	for i := 0; i < 20000; i++ {
+		xs = append(xs, r.NormFloat64()*math.Exp(r.Float64()*12-6))
+	}
+	dst := make([]float64, len(xs))
+	sigmoidTile(dst, xs)
+	for i, x := range xs {
+		want := fuseSigmoid(x)
+		if math.Float64bits(dst[i]) != math.Float64bits(want) &&
+			!(math.IsNaN(dst[i]) && math.IsNaN(want)) {
+			t.Fatalf("sigmoidTile(%g) = %x, fuseSigmoid = %x", x,
+				math.Float64bits(dst[i]), math.Float64bits(want))
+		}
+	}
+	// In-place application must agree too.
+	cp := append([]float64(nil), xs...)
+	sigmoidTile(cp, cp)
+	if !bitsEqual(cp, dst) {
+		t.Error("in-place sigmoidTile differs from out-of-place")
+	}
+}
+
+// TestExp8MatchesMathExp re-asserts the init probe's verdict as a real
+// test, over fresh random points the probe never saw.
+func TestExp8MatchesMathExp(t *testing.T) {
+	if fuseExpMode == 0 {
+		t.Skip("no vector exp variant certified on this platform; scalar fallback active")
+	}
+	r := rand.New(rand.NewSource(37))
+	for i := 0; i < 50000; i++ {
+		x := -(sigGateLo + r.Float64()*(sigGateHi-sigGateLo))
+		want := math.Float64bits(math.Exp(x))
+		var a, b, c, d, e, f, g, h float64
+		if fuseExpMode == 1 {
+			a, b, c, d, e, f, g, h = exp8FMA(x, x, x, x, x, x, x, x)
+		} else {
+			a, b, c, d, e, f, g, h = exp8NoFMA(x, x, x, x, x, x, x, x)
+		}
+		for _, got := range []float64{a, b, c, d, e, f, g, h} {
+			if math.Float64bits(got) != want {
+				t.Fatalf("exp8 mode %d at %g: %x, want %x", fuseExpMode, x, math.Float64bits(got), want)
+			}
+		}
+	}
+}
+
+// TestFusedCheckInputsPanics: one test per validation branch, pinning the
+// message each malformed input dies with (the satellite fix: ambiguous
+// dense+sparse inputs must not be reported as dense shape mismatches).
+func TestFusedCheckInputsPanics(t *testing.T) {
+	p, err := CompileFused([]FusedOp{opsLoad(0), opsOp(FuseSq)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(38))
+	good := randMat(r, 3, 4, 0)
+	expectPanic := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			t.Helper()
+			rec := recover()
+			if rec == nil {
+				t.Errorf("%s: no panic, want %q", name, want)
+				return
+			}
+			msg, _ := rec.(string)
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: panic %q, want substring %q", name, msg, want)
+			}
+		}()
+		f()
+	}
+	expectPanic("arity", "fused program wants 1 inputs, got 2", func() {
+		FusedCell(p, []FusedInput{DenseInput(good), DenseInput(good)}, 3, 4)
+	})
+	expectPanic("ambiguous", "fused input 0 sets both dense and sparse operands", func() {
+		FusedCell(p, []FusedInput{{D: good, C: CSRFromDense(good)}}, 3, 4)
+	})
+	expectPanic("dense shape", "fused dense input 0 is 3x4, want 4x3", func() {
+		FusedCell(p, []FusedInput{DenseInput(good)}, 4, 3)
+	})
+	expectPanic("sparse shape", "fused sparse input 0 is 3x4, want 4x3", func() {
+		FusedCell(p, []FusedInput{CSRInput(CSRFromDense(good))}, 4, 3)
+	})
+	expectPanic("empty", "fused input 0 is neither scalar nor matrix", func() {
+		FusedCell(p, []FusedInput{{}}, 3, 4)
+	})
+}
+
+// TestCompiledZeroAllocSteadyState: the flat templates and the
+// dynamic-scalar prelude hold the zero-allocation contract after the
+// first (compiling) call.
+func TestCompiledZeroAllocSteadyState(t *testing.T) {
+	withGOMAXPROCS(1, func() {
+		r := rand.New(rand.NewSource(39))
+		rows, cols := 500, 60
+		x := randMat(r, rows, cols, 0)
+		y := randMat(r, rows, cols, 0)
+		out := NewDense(rows, cols)
+		rowDst := make([]float64, rows)
+
+		// sigchain flat cell (stages through pooled scratch + sigmoidTile).
+		chain, err := CompileFused([]FusedOp{opsLoad(0), opsConst(2), opsOp(FuseMul),
+			opsConst(1), opsOp(FuseAdd), opsOp(FuseSigmoid), opsLoad(0), opsOp(FuseMul),
+			opsLoad(0), opsConst(3), opsOp(FuseDiv), opsOp(FuseSub)}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xIn := []FusedInput{DenseInput(x)}
+		if compiled, flat := chain.CompileFusedKernel(xIn); !compiled || flat != "cell.sigchain" {
+			t.Fatalf("sigchain not flat-compiled: %v %q", compiled, flat)
+		}
+		if a := testing.AllocsPerRun(50, func() { FusedCellInto(out, chain, xIn) }); a != 0 {
+			t.Errorf("compiled sigchain FusedCellInto allocates %v per run, want 0", a)
+		}
+
+		// scaleadd flat row aggregate.
+		sa, err := CompileFused([]FusedOp{opsLoad(0), opsConst(2), opsOp(FuseMul),
+			opsLoad(1), opsOp(FuseAdd)}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xyIn := []FusedInput{DenseInput(x), DenseInput(y)}
+		sa.CompileFusedKernel(xyIn)
+		if a := testing.AllocsPerRun(50, func() { FusedRowSumsInto(rowDst, sa, xyIn, rows, cols) }); a != 0 {
+			t.Errorf("compiled FusedRowSumsInto allocates %v per run, want 0", a)
+		}
+
+		// Dynamic-scalar prelude: (x-y)/(s1*s2) hoists the divisor per call.
+		ds, err := CompileFused([]FusedOp{opsLoad(0), opsLoad(1), opsOp(FuseSub),
+			opsLoad(2), opsLoad(3), opsOp(FuseMul), opsOp(FuseDiv)}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsIn := []FusedInput{DenseInput(x), DenseInput(y), ScalarInput(2.5), ScalarInput(0.8)}
+		if compiled, flat := ds.CompileFusedKernel(dsIn); !compiled || flat != "cell.scalebin" {
+			t.Fatalf("derived-scalar scalebin not flat-compiled: %v %q", compiled, flat)
+		}
+		if a := testing.AllocsPerRun(50, func() { FusedCellInto(out, ds, dsIn) }); a != 0 {
+			t.Errorf("compiled prelude FusedCellInto allocates %v per run, want 0", a)
+		}
+	})
+}
+
+// TestCompiledConstantFolding: all-constant scalar subtrees fold at compile
+// time — the kernel for (x + (2*3+1)) must carry no prelude and still
+// match the interpreter bit for bit.
+func TestCompiledConstantFolding(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	x := randMat(r, 7, 11, 0)
+	p, err := CompileFused([]FusedOp{opsLoad(0), opsConst(2), opsConst(3), opsOp(FuseMul),
+		opsConst(1), opsOp(FuseAdd), opsOp(FuseAdd)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []FusedInput{DenseInput(x)}
+	k := p.kernelFor(ins)
+	if k == nil {
+		t.Fatal("not compiled")
+	}
+	if k.nsv != 0 || len(k.pre) != 0 {
+		t.Errorf("constant subtree hoisted to prelude (nsv=%d), want compile-time fold", k.nsv)
+	}
+	gotC, gotI := runBothBackends(p, func() []float64 {
+		return append([]float64(nil), FusedCell(p, ins, 7, 11).data...)
+	})
+	if !bitsEqual(gotC, gotI) {
+		t.Error("folded constants differ from interpreter")
+	}
+}

@@ -181,3 +181,29 @@ func instrumented(x float64) float64 {
 	kernelCounter.Inc()
 	return x + 1
 }
+
+// ---- compiled-kernel discipline: closures must not capture per-call state ----
+
+// kernelCtx mimics the compiled fusion backend's per-call context: inputs
+// travel through a pooled struct, never through closure captures.
+type kernelCtx struct{ xs []float64 }
+
+// Guard: the clean compiled-kernel pattern. The constructor runs once at
+// compile time, so it is deliberately NOT annotated (the closure it builds
+// may allocate there); the closure captures only the compile-time constant
+// scale and reads all per-call state from ctx, so annotated callers of the
+// built kernel stay allocation-free.
+func buildScaleKernel(scale float64) func(*kernelCtx, int) float64 {
+	return func(c *kernelCtx, i int) float64 { return c.xs[i] * scale }
+}
+
+var _ = buildScaleKernel
+
+// Seeded violation: a kernel that closes over its per-call argument
+// heap-allocates a fresh closure on every invocation — the exact bug the
+// compiled backend's zero-alloc contract forbids.
+//
+//dmml:noalloc
+func capturesPerCallState(xs []float64) func(int) float64 {
+	return func(i int) float64 { return xs[i] } // want `closure captures variable "xs" \(heap-allocates the closure\) in //dmml:noalloc flow of capturesPerCallState`
+}
