@@ -4,7 +4,7 @@
 #   make check          static analysis + race detector over the concurrent
 #                       packages (pool, la, compress, paramserver, storage,
 #                       opt, metrics, dml, experiments, factorized, modeldb,
-#                       sketch)
+#                       sketch, serve)
 #   make vet-engine     dmmlvet: the engine-specific analyzer suite (scratch
 #                       pairing, span pairing, instrument registration,
 #                       noalloc kernels, lock discipline) over every package;
@@ -14,6 +14,10 @@
 #                       cannot drift
 #   make fuzz-smoke     15s native-fuzzing passes over the DML fusion
 #                       properties (fused vs unfused, compiled vs interpreted)
+#                       and the serving wire protocol (decode/round-trip)
+#   make serve-smoke    end-to-end inference-serving smoke: in-process
+#                       dmmlserve + loadtest closed loop, fails below
+#                       20k predictions/s or on any request error
 #   make bench          benchstat-compatible timings for the perf-tracked
 #                       experiments (E4, E5, E6, E10, E15, E16, and the E14 fault-
 #                       injection scenario) — run before and after a kernel
@@ -40,9 +44,10 @@ BENCH_COUNT ?= 6
 RACE_PKGS := ./internal/pool/... ./internal/la/... ./internal/compress/... \
 	./internal/paramserver/... ./internal/storage/... ./internal/opt/... \
 	./internal/metrics/... ./internal/dml/... ./internal/experiments/... \
-	./internal/factorized/... ./internal/modeldb/... ./internal/sketch/...
+	./internal/factorized/... ./internal/modeldb/... ./internal/sketch/... \
+	./internal/serve/...
 
-.PHONY: test check ci vet vet-engine race bench bench-guard lint-examples fuzz-smoke
+.PHONY: test check ci vet vet-engine race bench bench-guard lint-examples fuzz-smoke serve-smoke
 
 test:
 	$(GO) build ./...
@@ -51,8 +56,8 @@ test:
 check: vet vet-engine race
 
 # Mirror of the blocking CI jobs (build-test, vet, vet-engine, race,
-# fuzz-smoke, lint-examples).
-ci: test vet vet-engine race fuzz-smoke lint-examples
+# fuzz-smoke, serve-smoke, lint-examples).
+ci: test vet vet-engine race fuzz-smoke serve-smoke lint-examples
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +82,13 @@ bench:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzFusionSemantics$$' -fuzztime 15s ./internal/dml
 	$(GO) test -run '^$$' -fuzz 'FuzzCompiledFusionSemantics$$' -fuzztime 15s ./internal/dml
+	$(GO) test -run '^$$' -fuzz 'FuzzServeProtocol$$' -fuzztime 15s ./internal/serve
+
+# End-to-end serving smoke: loadtest starts dmmlserve in-process with the
+# demo models and drives a closed loop; fails on any request error or if
+# throughput drops below the 20k predictions/s acceptance floor.
+serve-smoke:
+	$(GO) run ./cmd/loadtest -selfserve -conns 8 -duration 2s -min-qps 20000
 
 bench-guard:
 	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16 -snapshot bench_current.json -metrics metrics_current.json

@@ -44,4 +44,8 @@ var (
 	mFusedCompileTimer = metrics.NewTimer("la.FusedCompile")
 	mFusedCellCTimer   = metrics.NewTimer("la.FusedCellCompiled")
 	mFusedAggCTimer    = metrics.NewTimer("la.FusedRowAggCompiled")
+
+	// Serving-path scoring: total rows scored through ScoreRowsInto /
+	// ScoreRow, so `dmmlserve -stats` can relate predictions to GEMV work.
+	mScoreRows = metrics.NewCounter("la.score.rows")
 )

@@ -1,0 +1,5 @@
+//go:build !race
+
+package la
+
+const raceEnabled = false

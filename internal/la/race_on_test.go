@@ -1,0 +1,7 @@
+//go:build race
+
+package la
+
+// raceEnabled lets timing pins skip under the race detector, whose
+// instrumentation distorts relative kernel costs.
+const raceEnabled = true

@@ -17,11 +17,24 @@ const numBuckets = 44
 // power-of-two bucket counts, and min/max cells. Everything is a plain
 // atomic int64, so concurrent observers never coordinate beyond the cache
 // coherence of their own stripe.
+//
+// Observations are clamped non-negative (Observe), which lets both extrema
+// make the *zero value* mean "empty" — no sentinel installation, and
+// therefore no init-publication ordering to get wrong (an earlier design
+// published an init flag before storing per-stripe sentinels; a concurrent
+// first Observe could then read the zero min and pin it to 0 forever):
+//
+//   - minC stores math.MaxInt64 - min. A zeroed cell decodes to
+//     MaxInt64, the identity for a min-merge, and a tighter (smaller)
+//     minimum is a *larger* stored value, so the install condition is a
+//     plain "is mine larger" CAS.
+//   - max stores the maximum directly. A zeroed cell is 0, the identity
+//     for a max-merge over non-negative observations.
 type histStripe struct {
 	count   atomic.Int64
 	sum     atomic.Int64
-	min     atomic.Int64 // math.MaxInt64 when empty
-	max     atomic.Int64 // math.MinInt64 when empty
+	minC    atomic.Int64 // math.MaxInt64 - min; 0 (decoding to MaxInt64) when empty
+	max     atomic.Int64 // max; 0 when empty (exact: observations are >= 0)
 	buckets [numBuckets]atomic.Int64
 	_       [48]byte // keep stripes from sharing the trailing cache line
 }
@@ -36,9 +49,10 @@ func (s *histStripe) observe(v int64) {
 	s.buckets[b].Add(1)
 	// Min/max via CAS races: losing a race means another writer already
 	// installed a tighter bound, so retry until ours is not an improvement.
+	c := math.MaxInt64 - v
 	for {
-		cur := s.min.Load()
-		if v >= cur || s.min.CompareAndSwap(cur, v) {
+		cur := s.minC.Load()
+		if c <= cur || s.minC.CompareAndSwap(cur, c) {
 			break
 		}
 	}
@@ -56,24 +70,11 @@ func (s *histStripe) observe(v int64) {
 type Histogram struct {
 	name    string
 	stripes [numStripes]histStripe
-	init    atomic.Bool // min/max sentinels installed
-}
-
-// ensureInit installs the min/max sentinels once. Done lazily (not at
-// registration) so the zero Histogram value is still usable in tests.
-func (h *Histogram) ensureInit() {
-	if h.init.Load() {
-		return
-	}
-	if h.init.CompareAndSwap(false, true) {
-		for i := range h.stripes {
-			h.stripes[i].min.Store(math.MaxInt64)
-			h.stripes[i].max.Store(math.MinInt64)
-		}
-	}
 }
 
 // Observe records v. No-op when collection is disabled. Never allocates.
+// The zero Histogram value is ready to use: stripe extrema encode "empty"
+// as their zero value (see histStripe), so there is no lazy init step.
 //dmml:noalloc
 func (h *Histogram) Observe(v int64) {
 	if !enabled.Load() {
@@ -82,7 +83,6 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.ensureInit()
 	h.stripes[stripeIdx()].observe(v)
 }
 
@@ -112,13 +112,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s := &h.stripes[i]
 		snap.Count += s.count.Load()
 		snap.Sum += s.sum.Load()
-		if h.init.Load() {
-			if m := s.min.Load(); m < snap.Min {
-				snap.Min = m
-			}
-			if m := s.max.Load(); m > snap.Max {
-				snap.Max = m
-			}
+		// Empty stripes decode to the merge identities (min MaxInt64, max 0),
+		// so no emptiness check is needed per stripe.
+		if m := math.MaxInt64 - s.minC.Load(); m < snap.Min {
+			snap.Min = m
+		}
+		if m := s.max.Load(); m > snap.Max {
+			snap.Max = m
 		}
 		for b := range buckets {
 			buckets[b] += s.buckets[b].Load()
@@ -144,13 +144,12 @@ func (h *Histogram) reset() {
 		s := &h.stripes[i]
 		s.count.Store(0)
 		s.sum.Store(0)
-		s.min.Store(math.MaxInt64)
-		s.max.Store(math.MinInt64)
+		s.minC.Store(0)
+		s.max.Store(0)
 		for b := range s.buckets {
 			s.buckets[b].Store(0)
 		}
 	}
-	h.init.Store(true)
 }
 
 // Timer is a duration histogram that additionally tracks self time — the
@@ -181,7 +180,6 @@ func (t *Timer) observeSpan(total, self time.Duration) {
 	if self < 0 {
 		self = 0
 	}
-	t.hist.ensureInit()
 	t.hist.stripes[stripeIdx()].observe(int64(total))
 	t.self[stripeIdx()].v.Add(int64(self))
 }

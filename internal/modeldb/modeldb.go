@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"dmml/internal/la"
 )
@@ -42,8 +43,13 @@ type Spec struct {
 	Tags        []string
 }
 
-// Store is an in-memory, JSON-persistable run registry.
+// Store is an in-memory, JSON-persistable run registry. It is safe for
+// concurrent use: Log takes the write lock, every read path the read lock
+// — the serving layer hot-reloads weights from a store that trainers are
+// still logging into. Read paths return deep copies (see Run.clone), so a
+// caller mutating a returned Run can never corrupt the registry.
 type Store struct {
+	mu     sync.RWMutex
 	runs   []Run
 	byID   map[int]int // id -> index in runs
 	byName map[string][]int
@@ -55,11 +61,24 @@ func NewStore() *Store {
 	return &Store{byID: map[int]int{}, byName: map[string][]int{}, nextID: 1}
 }
 
+// clone returns a deep copy of the run: the registry and its callers must
+// never share slice or map storage, in either direction.
+func (r Run) clone() Run {
+	r.Transforms = append([]string(nil), r.Transforms...)
+	r.Config = cloneMap(r.Config)
+	r.Metrics = cloneMap(r.Metrics)
+	r.Weights = append([]float64(nil), r.Weights...)
+	r.Tags = append([]string(nil), r.Tags...)
+	return r
+}
+
 // Log records a run, assigning its ID and per-name version.
 func (s *Store) Log(spec Spec) (Run, error) {
 	if spec.Name == "" {
 		return Run{}, fmt.Errorf("modeldb: run needs a name")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if spec.ParentID != -1 && spec.ParentID != 0 {
 		if _, ok := s.byID[spec.ParentID]; !ok {
 			return Run{}, fmt.Errorf("modeldb: parent run %d not found", spec.ParentID)
@@ -85,7 +104,7 @@ func (s *Store) Log(spec Spec) (Run, error) {
 	s.byID[run.ID] = len(s.runs)
 	s.byName[run.Name] = append(s.byName[run.Name], run.ID)
 	s.runs = append(s.runs, run)
-	return run, nil
+	return run.clone(), nil
 }
 
 func cloneMap(m map[string]float64) map[string]float64 {
@@ -99,8 +118,9 @@ func cloneMap(m map[string]float64) map[string]float64 {
 	return out
 }
 
-// Get fetches a run by ID.
-func (s *Store) Get(id int) (Run, error) {
+// getLocked fetches a run by ID without locking or cloning; callers hold
+// at least the read lock and must clone before the run escapes the store.
+func (s *Store) getLocked(id int) (Run, error) {
 	i, ok := s.byID[id]
 	if !ok {
 		return Run{}, fmt.Errorf("modeldb: run %d not found", id)
@@ -108,28 +128,45 @@ func (s *Store) Get(id int) (Run, error) {
 	return s.runs[i], nil
 }
 
+// Get fetches a run by ID.
+func (s *Store) Get(id int) (Run, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, err := s.getLocked(id)
+	if err != nil {
+		return Run{}, err
+	}
+	return r.clone(), nil
+}
+
 // Versions returns all runs with the given name, oldest first.
 func (s *Store) Versions(name string) []Run {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ids := s.byName[name]
 	out := make([]Run, len(ids))
 	for i, id := range ids {
-		out[i] = s.runs[s.byID[id]]
+		out[i] = s.runs[s.byID[id]].clone()
 	}
 	return out
 }
 
 // Latest returns the newest run with the given name.
 func (s *Store) Latest(name string) (Run, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ids := s.byName[name]
 	if len(ids) == 0 {
 		return Run{}, fmt.Errorf("modeldb: no runs named %q", name)
 	}
-	return s.runs[s.byID[ids[len(ids)-1]]], nil
+	return s.runs[s.byID[ids[len(ids)-1]]].clone(), nil
 }
 
 // Best returns the run with the extreme value of the metric among all runs
 // with the given name.
 func (s *Store) Best(name, metric string, higherBetter bool) (Run, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ids := s.byName[name]
 	bestIdx, bestVal := -1, 0.0
 	for _, id := range ids {
@@ -145,15 +182,19 @@ func (s *Store) Best(name, metric string, higherBetter bool) (Run, error) {
 	if bestIdx < 0 {
 		return Run{}, fmt.Errorf("modeldb: no runs named %q with metric %q", name, metric)
 	}
-	return s.runs[bestIdx], nil
+	return s.runs[bestIdx].clone(), nil
 }
 
-// Query returns all runs satisfying pred, in log order.
+// Query returns all runs satisfying pred, in log order. pred runs under
+// the store's read lock: it must not retain or mutate its argument and
+// must not call back into the store.
 func (s *Store) Query(pred func(Run) bool) []Run {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Run
 	for _, r := range s.runs {
 		if pred(r) {
-			out = append(out, r)
+			out = append(out, r.clone())
 		}
 	}
 	return out
@@ -161,6 +202,8 @@ func (s *Store) Query(pred func(Run) bool) []Run {
 
 // Lineage returns the chain from the run to its root ancestor, run first.
 func (s *Store) Lineage(id int) ([]Run, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Run
 	seen := map[int]bool{}
 	for id != -1 {
@@ -168,11 +211,11 @@ func (s *Store) Lineage(id int) ([]Run, error) {
 			return nil, fmt.Errorf("modeldb: lineage cycle at run %d", id)
 		}
 		seen[id] = true
-		r, err := s.Get(id)
+		r, err := s.getLocked(id)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		out = append(out, r.clone())
 		id = r.ParentID
 	}
 	return out, nil
@@ -186,11 +229,13 @@ type Diff struct {
 
 // Diff compares run a to run b (b−a for metric deltas).
 func (s *Store) Diff(a, b int) (Diff, error) {
-	ra, err := s.Get(a)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ra, err := s.getLocked(a)
 	if err != nil {
 		return Diff{}, err
 	}
-	rb, err := s.Get(b)
+	rb, err := s.getLocked(b)
 	if err != nil {
 		return Diff{}, err
 	}
@@ -217,15 +262,22 @@ func (s *Store) Diff(a, b int) (Diff, error) {
 }
 
 // NumRuns returns the number of logged runs.
-func (s *Store) NumRuns() int { return len(s.runs) }
+func (s *Store) NumRuns() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.runs)
+}
 
 type persisted struct {
 	NextID int   `json:"next_id"`
 	Runs   []Run `json:"runs"`
 }
 
-// Save serializes the store as JSON.
+// Save serializes the store as JSON. It holds the read lock for the whole
+// encode, so a snapshot is internally consistent even with concurrent Logs.
 func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(persisted{NextID: s.nextID, Runs: s.runs}); err != nil {

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"math"
+
+	"dmml/internal/modeldb"
+)
+
+// Demo model names and dimensions shared by `dmmlserve -demo` and
+// `loadtest -selfserve`, so the two binaries agree without a registry file.
+const (
+	DemoChurnModel = "churn" // logistic link, DemoChurnDim features
+	DemoChurnDim   = 16
+	DemoLinModel   = "linear" // identity link, DemoLinDim features
+	DemoLinDim     = 8
+)
+
+// LogDemoModels logs two deterministic demo models into store: a logistic
+// churn scorer and a linear regressor. Weights are fixed functions of the
+// feature index, so a client can recompute expected predictions exactly.
+func LogDemoModels(store *modeldb.Store) error {
+	churn := make([]float64, DemoChurnDim)
+	for i := range churn {
+		churn[i] = math.Sin(float64(i+1)) * 0.5
+	}
+	if _, err := store.Log(modeldb.Spec{
+		Name:     DemoChurnModel,
+		Weights:  churn,
+		Config:   map[string]float64{"bias": -0.25},
+		Tags:     []string{"link:logistic", "demo"},
+		ParentID: -1,
+	}); err != nil {
+		return err
+	}
+	lin := make([]float64, DemoLinDim)
+	for i := range lin {
+		lin[i] = float64(i+1) * 0.125
+	}
+	_, err := store.Log(modeldb.Spec{
+		Name:     DemoLinModel,
+		Weights:  lin,
+		Config:   map[string]float64{"bias": 2},
+		Tags:     []string{"demo"},
+		ParentID: -1,
+	})
+	return err
+}

@@ -1,0 +1,27 @@
+package serve
+
+import "dmml/internal/metrics"
+
+// Serving-layer instruments (see internal/metrics): request admission,
+// batch shape, scoring latency and the reload counter. All free until
+// metrics.Enable() — `dmmlserve -stats` turns them on.
+var (
+	mRequests    = metrics.NewCounter("serve.requests")
+	mPredictions = metrics.NewCounter("serve.predictions")
+	mErrors      = metrics.NewCounter("serve.errors")
+	mBatches     = metrics.NewCounter("serve.batches")
+	mReloads     = metrics.NewCounter("serve.reloads")
+	mConnsOpened = metrics.NewCounter("serve.conns.opened")
+
+	// hBatchRows is the coalescing profile: how many requests each drained
+	// admission batch scored in one pooled GEMV.
+	hBatchRows = metrics.NewHistogram("serve.batch.rows")
+	// gQueueDepth is the admission queue depth seen at the last drain.
+	gQueueDepth = metrics.NewGauge("serve.queue.depth")
+
+	// tScore times the batch scoring call (gather + GEMV + link), and
+	// tRequest the whole server-side request residence: admission to
+	// response enqueue, queueing included.
+	tScore   = metrics.NewTimer("serve.Score")
+	tRequest = metrics.NewTimer("serve.Request")
+)
