@@ -3,8 +3,8 @@
 #   make test           tier-1 gate: build everything, run every test
 #   make check          static analysis + race detector over the concurrent
 #                       packages (pool, la, compress, paramserver, storage,
-#                       opt, metrics, dml, experiments, factorized, modeldb,
-#                       sketch, serve)
+#                       ooc, opt, metrics, dml, experiments, factorized,
+#                       modeldb, sketch, serve)
 #   make vet-engine     dmmlvet: the engine-specific analyzer suite (scratch
 #                       pairing, span pairing, instrument registration,
 #                       noalloc kernels, lock discipline) over every package;
@@ -19,12 +19,19 @@
 #                       dmmlserve + loadtest closed loop, fails below
 #                       20k predictions/s or on any request error
 #   make bench          benchstat-compatible timings for the perf-tracked
-#                       experiments (E4, E5, E6, E10, E15, E16, and the E14 fault-
-#                       injection scenario) — run before and after a kernel
+#                       experiments (E4, E5, E6, E10, E15, E16, E17, and the E14
+#                       fault-injection scenario) — run before and after a kernel
 #                       change and feed both logs to benchstat
-#   make bench-guard    the non-blocking CI bench job: run E4/E5/E15/E16 at full
-#                       scale with -snapshot/-metrics and diff against the
+#   make bench-guard    the non-blocking CI bench job: run E4/E5/E15/E16/E17 at
+#                       full scale with -snapshot/-metrics and diff against the
 #                       BENCH_baseline.json snapshot pins
+#   make cover          the CI coverage job: per-package statement coverage over
+#                       ./internal/... with an HTML report (coverage.html) and
+#                       hard floors on the storage and compress packages
+#   make fuzz-nightly   the nightly extended fuzzing pass: 5 minutes per fuzz
+#                       target instead of fuzz-smoke's 15 seconds
+#   make bench-guard-strict  nightly bench guard: same run as bench-guard but
+#                       any regression past the warn threshold fails the build
 #   make lint-examples  run the DML static analyzer over all shipped scripts
 
 # Fail fast: every recipe line runs under `bash -eu -o pipefail`, so a
@@ -37,17 +44,20 @@ GO ?= go
 BENCH_COUNT ?= 6
 
 # Packages with real concurrency — the ones worth the race detector's 10x
-# slowdown. metrics is lock-striped and must stay race-clean; dml drives the
+# slowdown. metrics is lock-striped and must stay race-clean; ooc runs the
+# async block prefetcher against the buffer pool; dml drives the
 # parallel fused templates, experiments and factorized fan work out through
 # the pool, modeldb and sketch are exercised concurrently by the serving and
 # streaming paths.
 RACE_PKGS := ./internal/pool/... ./internal/la/... ./internal/compress/... \
-	./internal/paramserver/... ./internal/storage/... ./internal/opt/... \
+	./internal/paramserver/... ./internal/storage/... ./internal/ooc/... \
+	./internal/opt/... \
 	./internal/metrics/... ./internal/dml/... ./internal/experiments/... \
 	./internal/factorized/... ./internal/modeldb/... ./internal/sketch/... \
 	./internal/serve/...
 
-.PHONY: test check ci vet vet-engine race bench bench-guard lint-examples fuzz-smoke serve-smoke
+.PHONY: test check ci vet vet-engine race bench bench-guard bench-guard-strict \
+	cover fuzz-nightly lint-examples fuzz-smoke serve-smoke
 
 test:
 	$(GO) build ./...
@@ -73,7 +83,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance|15Fusion|16CompiledFusion)$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance|15Fusion|16CompiledFusion|17OutOfCoreTraining)$$' \
 		-benchmem -count=$(BENCH_COUNT) .
 
 # Short native-fuzzing smoke over the fusion equivalence property: random
@@ -91,8 +101,44 @@ serve-smoke:
 	$(GO) run ./cmd/loadtest -selfserve -conns 8 -duration 2s -min-qps 20000
 
 bench-guard:
-	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16 -snapshot bench_current.json -metrics metrics_current.json
+	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16,E17 -snapshot bench_current.json -metrics metrics_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -current bench_current.json -metrics metrics_current.json
+
+# Nightly variant: identical measurement, but a regression past the warn
+# threshold fails the job instead of just warning.
+bench-guard-strict:
+	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16,E17 -snapshot bench_current.json -metrics metrics_current.json
+	$(GO) run ./cmd/benchguard -strict -baseline BENCH_baseline.json -current bench_current.json -metrics metrics_current.json
+
+# Per-package statement coverage with an HTML report, plus hard floors on the
+# packages that own the out-of-core datapath's correctness: the buffer pool
+# (storage) and the page codec (compress). The floor check parses go test's
+# own per-package coverage lines, so it cannot drift from the profile.
+COVER_FLOOR_STORAGE ?= 85
+COVER_FLOOR_COMPRESS ?= 82
+
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./internal/... | tee coverage.txt
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	@check() { \
+		pct=$$(awk -v pkg="dmml/internal/$$1" '$$2 == pkg { for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { sub(/%.*/, "", $$i); print $$i; exit } }' coverage.txt); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for internal/$$1" >&2; exit 1; fi; \
+		if awk -v p="$$pct" -v f="$$2" 'BEGIN { exit !(p < f) }'; then \
+			echo "cover: internal/$$1 coverage $$pct% is below the $$2% floor" >&2; exit 1; \
+		fi; \
+		echo "cover: internal/$$1 $$pct% (floor $$2%)"; \
+	}; \
+	check storage $(COVER_FLOOR_STORAGE); \
+	check compress $(COVER_FLOOR_COMPRESS)
+
+# Nightly extended fuzzing: the same three properties fuzz-smoke touches for
+# 15s each get 5 minutes each.
+FUZZ_NIGHTLY_TIME ?= 5m
+
+fuzz-nightly:
+	$(GO) test -run '^$$' -fuzz 'FuzzFusionSemantics$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/dml
+	$(GO) test -run '^$$' -fuzz 'FuzzCompiledFusionSemantics$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/dml
+	$(GO) test -run '^$$' -fuzz 'FuzzServeProtocol$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/serve
 
 lint-examples:
 	$(GO) run ./cmd/dmml lint -strict examples/dml_script/scripts/*.dml

@@ -94,6 +94,10 @@ func BenchmarkE16CompiledFusion(b *testing.B) {
 	benchExperiment(b, experiments.E16CompiledFusion)
 }
 
+func BenchmarkE17OutOfCoreTraining(b *testing.B) {
+	benchExperiment(b, experiments.E17OutOfCoreTraining)
+}
+
 func BenchmarkAblationKMeansPruning(b *testing.B) {
 	benchExperiment(b, experiments.EKMeansPruning)
 }

@@ -12,10 +12,18 @@
 //	dmml -csv name=path.csv ...     # bind numeric CSV files as matrices
 //	dmml -stats script.dml          # print a per-operator time table
 //	dmml -cpuprofile cpu.pprof ...  # write a pprof CPU profile
+//	dmml -ooc-budget 64MB s.dml     # page big read() inputs out of core
 //	dmml lint script.dml ...        # static analysis only; do not execute
 //
 // CSV bindings load headerless numeric CSV files; each becomes a dense
 // matrix variable available to the script.
+//
+// -ooc-budget sets a memory budget for read(): files larger than the budget
+// load as block-paged, CLA-compressed out-of-core matrices backed by a
+// buffer pool of that byte budget (with async block prefetch), instead of
+// dense in-memory matrices. Scripts keep working unchanged as long as they
+// only use the streaming-friendly operations (nrow, ncol, sum, mean,
+// colSums, X %*% v, t(X) %*% v, t(X) %*% X).
 //
 // -stats enables the engine metrics registry for the run and prints a
 // SystemML-style heavy-hitter table afterwards: each operator's call
@@ -74,6 +82,7 @@ func run() int {
 	statsTop := flag.Int("stats-top", 15, "rows in the -stats operator table (0 = all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	oocBudget := flag.String("ooc-budget", "", "memory budget for read(): larger inputs stream as compressed out-of-core blocks (e.g. 64MB; empty = always dense)")
 	var csvs csvBindings
 	flag.Var(&csvs, "csv", "bind a headerless numeric CSV as a matrix: name=path (repeatable)")
 	flag.Parse()
@@ -81,6 +90,23 @@ func run() int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "dmml:", err)
 		return 1
+	}
+
+	if *oocBudget != "" {
+		budget, err := storage.ParseByteSize(*oocBudget)
+		if err != nil {
+			return fail(fmt.Errorf("-ooc-budget: %w", err))
+		}
+		spill, err := os.MkdirTemp("", "dmml-ooc-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(spill)
+		bp, err := storage.NewBufferPoolBytes(budget, spill)
+		if err != nil {
+			return fail(err)
+		}
+		dml.SetReadConfig(dml.ReadConfig{Pool: bp, Budget: budget, Prefetch: true})
 	}
 
 	if *cpuprofile != "" {
@@ -115,7 +141,7 @@ func run() int {
 	src := *expr
 	if src == "" {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: dmml [-e expr] [-explain] [-no-opt] [-fuse compile|interp|off] [-stats] [-csv name=path] [script.dml]")
+			fmt.Fprintln(os.Stderr, "usage: dmml [-e expr] [-explain] [-no-opt] [-fuse compile|interp|off] [-stats] [-csv name=path] [-ooc-budget size] [script.dml]")
 			return 2
 		}
 		data, err := os.ReadFile(flag.Arg(0))

@@ -9,6 +9,8 @@
 //	dmmlbench -snapshot out.json # also write per-experiment wall times as JSON
 //	dmmlbench -metrics out.json  # also dump the engine metrics registry
 //	dmmlbench -cpuprofile p.out  # write a pprof CPU profile of the run
+//	dmmlbench -ooc-budget 8MB    # re-run the out-of-core experiments (E17)
+//	                             # under a different buffer-pool budget
 //
 // -metrics enables the engine-wide metrics registry for the run and writes
 // the full snapshot (counters, gauges, latency histograms from every
@@ -31,6 +33,7 @@ import (
 	"dmml/internal/dml"
 	"dmml/internal/experiments"
 	"dmml/internal/metrics"
+	"dmml/internal/storage"
 )
 
 // snapshotEntry is one experiment's wall time, written by -snapshot in a
@@ -54,11 +57,20 @@ func run() int {
 	metricsOut := flag.String("metrics", "", "write the engine metrics registry as JSON to this file ('-' for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	oocBudget := flag.String("ooc-budget", "", "override the out-of-core experiments' buffer-pool budget (e.g. 8MB; default: dense footprint / 4)")
 	flag.Parse()
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "dmmlbench:", err)
 		return 1
+	}
+
+	if *oocBudget != "" {
+		b, err := storage.ParseByteSize(*oocBudget)
+		if err != nil {
+			return fail(err)
+		}
+		experiments.SetOOCBudget(b)
 	}
 
 	if *cpuprofile != "" {
@@ -117,6 +129,7 @@ func run() int {
 		"E14":    experiments.E14FaultTolerance,
 		"E15":    experiments.E15Fusion,
 		"E16":    experiments.E16CompiledFusion,
+		"E17":    experiments.E17OutOfCoreTraining,
 		"E-ABL1": experiments.EKMeansPruning,
 		"E-ABL2": experiments.EColumnCoCoding,
 	}

@@ -169,6 +169,62 @@ func (c *Matrix) vecMatSerial(dst, x []float64) {
 	}
 }
 
+// VecMatAccum adds xᵀ·X into dst without zeroing it first — the block-wise
+// form used by the out-of-core datapath, where each block accumulates its
+// contribution into one shared gradient vector.
+func (c *Matrix) VecMatAccum(dst, x []float64) {
+	if len(x) != c.rows {
+		panic(fmt.Sprintf("compress: VecMatAccum len %d × %dx%d", len(x), c.rows, c.cols))
+	}
+	if len(dst) != c.cols {
+		panic(fmt.Sprintf("compress: VecMatAccum dst len %d for %d cols", len(dst), c.cols))
+	}
+	for _, g := range c.groups {
+		g.VecMatAccum(dst, x)
+	}
+}
+
+// GramAccum adds XᵀX into out (cols×cols) without zeroing it — the block-wise
+// Gram accumulation: one column materialization plus one compressed
+// vector–matrix accumulate per column, never decompressing the block.
+func (c *Matrix) GramAccum(out *la.Dense) {
+	if r, cl := out.Dims(); r != c.cols || cl != c.cols {
+		panic(fmt.Sprintf("compress: GramAccum out %dx%d for %d cols", r, cl, c.cols))
+	}
+	sw := mGramTimer.Start()
+	defer sw.Stop()
+	ej := pool.GetF64Zeroed(c.cols)
+	col := pool.GetF64(c.rows)
+	for j := 0; j < c.cols; j++ {
+		c.colInto(col, ej, j)
+		c.VecMatAccum(out.RowView(j), col)
+	}
+	pool.PutF64(ej)
+	pool.PutF64(col)
+}
+
+// DecompressInto materializes the dense equivalent into m, which must be
+// rows×cols. m is zeroed first since sparse encodings only write non-zeros.
+func (c *Matrix) DecompressInto(m *la.Dense) {
+	if r, cl := m.Dims(); r != c.rows || cl != c.cols {
+		panic(fmt.Sprintf("compress: DecompressInto %dx%d for %dx%d matrix", r, cl, c.rows, c.cols))
+	}
+	raw := m.RawData()
+	for i := range raw {
+		raw[i] = 0
+	}
+	for _, g := range c.groups {
+		g.DecompressInto(m)
+	}
+}
+
+// ColSumsAccum adds per-column sums into out.
+func (c *Matrix) ColSumsAccum(out []float64) {
+	for _, g := range c.groups {
+		g.ColSumsAccum(out)
+	}
+}
+
 // ColSums returns per-column sums.
 func (c *Matrix) ColSums() []float64 {
 	out := make([]float64, c.cols)

@@ -1,0 +1,142 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmml/internal/la"
+)
+
+// TestPageCodecRoundTrip checks that every encoding survives the page codec:
+// encode to a flat float64 page, decode, and compare the decompressed matrix
+// bit-for-bit against the original compressed form.
+func TestPageCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	m := mixedMatrix(r, 777) // odd row count exercises partial pack words
+	for _, opts := range []Options{{}, {CoCode: true}, {Force: ForceDDC}, {Force: ForceOLE}, {Force: ForceRLE}, {Force: ForceUC}} {
+		c := Compress(m, opts)
+		page := make([]float64, EncodedLen(c))
+		if err := EncodeInto(page, c); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		back, err := DecodePage(page)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if back.Rows() != c.Rows() || back.Cols() != c.Cols() {
+			t.Fatalf("opts %+v: dims %dx%d, want %dx%d", opts, back.Rows(), back.Cols(), c.Rows(), c.Cols())
+		}
+		want, got := c.Decompress(), back.Decompress()
+		for i := 0; i < m.Rows(); i++ {
+			wr, gr := want.RowView(i), got.RowView(i)
+			for j := range wr {
+				if math.Float64bits(wr[j]) != math.Float64bits(gr[j]) {
+					t.Fatalf("opts %+v: [%d,%d] = %v, want %v", opts, i, j, gr[j], wr[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPageCodecOpsMatch checks the decoded form computes the same MatVec and
+// VecMat as the original compressed matrix, so operate-over-compressed on a
+// pool-resident page is exact.
+func TestPageCodecOpsMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	m := mixedMatrix(r, 640)
+	c := Compress(m, Options{CoCode: true})
+	page := make([]float64, EncodedLen(c))
+	if err := EncodeInto(page, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vecOf(r, m.Cols())
+	x := vecOf(r, m.Rows())
+	mv1, mv2 := c.MatVec(v), back.MatVec(v)
+	for i := range mv1 {
+		if mv1[i] != mv2[i] {
+			t.Fatalf("MatVec[%d] = %v via page, want %v", i, mv2[i], mv1[i])
+		}
+	}
+	vm1, vm2 := c.VecMat(x), back.VecMat(x)
+	for j := range vm1 {
+		if vm1[j] != vm2[j] {
+			t.Fatalf("VecMat[%d] = %v via page, want %v", j, vm2[j], vm1[j])
+		}
+	}
+}
+
+// TestPageCodecSpillRoundTrip pushes an encoded page through the buffer
+// pool's spill byte format (LittleEndian Float64bits) to prove packed code
+// words — which are arbitrary bit patterns, including NaN-space values —
+// survive disk round-trips unchanged.
+func TestPageCodecSpillRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	m := mixedMatrix(r, 513)
+	c := Compress(m, Options{})
+	page := make([]float64, EncodedLen(c))
+	if err := EncodeInto(page, c); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate storeLocked/loadLocked.
+	bits := make([]uint64, len(page))
+	for i, v := range page {
+		bits[i] = math.Float64bits(v)
+	}
+	back := make([]float64, len(bits))
+	for i, b := range bits {
+		back[i] = math.Float64frombits(b)
+	}
+	dec, err := DecodePage(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Decompress().Equal(c.Decompress(), 0) {
+		t.Fatal("page corrupted by spill-format round trip")
+	}
+}
+
+func TestPageCodecErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	c := Compress(mixedMatrix(r, 64), Options{})
+	page := make([]float64, EncodedLen(c))
+	if err := EncodeInto(page[:len(page)-1], c); err == nil {
+		t.Fatal("want error for short dst")
+	}
+	if err := EncodeInto(page, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePage(page[:len(page)-1]); err == nil {
+		t.Fatal("want error for truncated page")
+	}
+	bad := append([]float64(nil), page...)
+	bad[0] = 12345 // wrong magic
+	if _, err := DecodePage(bad); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	if _, err := DecodePage([]float64{float64(pageMagic), 4, 4, 1, 99}); err == nil {
+		t.Fatal("want error for unknown group kind")
+	}
+}
+
+func TestEncodedLenTracksSize(t *testing.T) {
+	// The page form should be close to SizeBytes (same dictionaries, packed
+	// codes), far below the dense form for compressible data.
+	rows := 4000
+	m := la.NewDense(rows, 3)
+	r := rand.New(rand.NewSource(94))
+	for i := 0; i < rows; i++ {
+		m.Set(i, 0, float64(r.Intn(4)))
+		m.Set(i, 1, float64(r.Intn(8)))
+		m.Set(i, 2, float64(r.Intn(2)))
+	}
+	c := Compress(m, Options{})
+	pageBytes := 8 * EncodedLen(c)
+	if dense := 8 * rows * 3; pageBytes*2 >= dense {
+		t.Fatalf("page form %dB not <50%% of dense %dB for low-cardinality data", pageBytes, dense)
+	}
+}

@@ -38,6 +38,13 @@ type NumLit struct {
 	Pos int
 }
 
+// StrLit is a double-quoted string literal. Strings exist only as arguments
+// to read(); anywhere else the analyzer rejects them.
+type StrLit struct {
+	Val string
+	Pos int
+}
+
 // Var is an identifier reference.
 type Var struct {
 	Name string
@@ -65,6 +72,7 @@ type Call struct {
 }
 
 func (n *NumLit) pos() int { return n.Pos }
+func (n *StrLit) pos() int { return n.Pos }
 func (n *Var) pos() int    { return n.Pos }
 func (n *BinOp) pos() int  { return n.Pos }
 func (n *Unary) pos() int  { return n.Pos }
@@ -72,6 +80,9 @@ func (n *Call) pos() int   { return n.Pos }
 
 // String implements fmt.Stringer.
 func (n *NumLit) String() string { return strconv.FormatFloat(n.Val, 'g', -1, 64) }
+
+// String implements fmt.Stringer.
+func (n *StrLit) String() string { return strconv.Quote(n.Val) }
 
 // String implements fmt.Stringer.
 func (n *Var) String() string { return n.Name }
@@ -169,7 +180,7 @@ var builtins = map[string]int{
 	"t": 1, "sum": 1, "mean": 1, "min": 1, "max": 1, "trace": 1,
 	"nrow": 1, "ncol": 1, "rowSums": 1, "colSums": 1,
 	"exp": 1, "log": 1, "sqrt": 1, "abs": 1, "sigmoid": 1,
-	"eye": 1, "solve": 2, "cbind": 2, "rbind": 2,
+	"eye": 1, "solve": 2, "cbind": 2, "rbind": 2, "read": 1,
 	// Internal fused operators produced by the rewriter; they are not
 	// parseable from source but render in String output.
 	"__sumsq": 1, "__tracemm": 2,

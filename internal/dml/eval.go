@@ -7,14 +7,18 @@ import (
 
 	"dmml/internal/la"
 	"dmml/internal/metrics"
+	"dmml/internal/ooc"
 	"dmml/internal/opt"
 )
 
-// Value is a DML runtime value: a scalar or a dense matrix.
+// Value is a DML runtime value: a scalar, a dense matrix, or a block-paged
+// out-of-core matrix produced by read() when the input exceeds the configured
+// memory budget (see SetReadConfig).
 type Value struct {
 	IsScalar bool
 	S        float64
 	M        *la.Dense
+	O        *ooc.Matrix // non-nil for out-of-core matrices; M is nil then
 }
 
 // Scalar wraps a float64 as a Value.
@@ -23,12 +27,26 @@ func Scalar(v float64) Value { return Value{IsScalar: true, S: v} }
 // Matrix wraps a dense matrix as a Value.
 func Matrix(m *la.Dense) Value { return Value{M: m} }
 
+// OOC wraps a block-paged out-of-core matrix as a Value.
+func OOC(m *ooc.Matrix) Value { return Value{O: m} }
+
 // String implements fmt.Stringer.
 func (v Value) String() string {
 	if v.IsScalar {
 		return fmt.Sprintf("%g", v.S)
 	}
+	if v.O != nil {
+		return fmt.Sprintf("<out-of-core matrix %dx%d in %d blocks>", v.O.Rows(), v.O.Cols(), v.O.NumBlocks())
+	}
 	return v.M.String()
+}
+
+// oocUnsupported reports an operation that would need the whole matrix
+// resident. Out-of-core matrices support exactly the streaming access paths:
+// size queries, column aggregates, and the mat-vec/Gram product patterns.
+func oocUnsupported(op string) error {
+	return fmt.Errorf("%s is not supported on an out-of-core matrix; "+
+		"supported: nrow, ncol, sum, mean, colSums, X %%*%% v, t(X) %%*%% v, t(X) %%*%% X", op)
 }
 
 // Env binds variable names to values.
@@ -211,6 +229,8 @@ func (e *evaluator) evalRaw(n Node) (Value, error) {
 	switch t := n.(type) {
 	case *NumLit:
 		return Scalar(t.Val), nil
+	case *StrLit:
+		return Value{}, fmt.Errorf("string literal %s is only valid as the argument of read()", t)
 	case *Var:
 		v, ok := e.env[t.Name]
 		if !ok {
@@ -224,6 +244,9 @@ func (e *evaluator) evalRaw(n Node) (Value, error) {
 		}
 		if v.IsScalar {
 			return Scalar(-v.S), nil
+		}
+		if v.O != nil {
+			return Value{}, oocUnsupported("unary minus")
 		}
 		out := v.M.Clone().Scale(-1)
 		e.allocCells(out.Rows(), out.Cols())
@@ -252,6 +275,9 @@ func (e *evaluator) evalBinOp(n *BinOp) (Value, error) {
 	r, err := e.eval(n.Right)
 	if err != nil {
 		return Value{}, err
+	}
+	if l.O != nil || r.O != nil {
+		return Value{}, oocUnsupported(fmt.Sprintf("element-wise %s", n.Op))
 	}
 	if compareOps[n.Op] {
 		if !l.IsScalar || !r.IsScalar {
@@ -334,6 +360,16 @@ func (e *evaluator) evalMatMul(n *BinOp) (Value, error) {
 				return Value{}, err
 			}
 			if !inner.IsScalar {
+				if inner.O != nil {
+					rows, cols := inner.O.Dims()
+					g, err := inner.O.Gram()
+					if err != nil {
+						return Value{}, err
+					}
+					e.stats.Flops += float64(rows) * float64(cols) * float64(cols)
+					e.allocCells(cols, cols)
+					return Matrix(g), nil
+				}
 				rows, cols := inner.M.Dims()
 				e.stats.Flops += float64(rows) * float64(cols) * float64(cols)
 				e.allocCells(cols, cols)
@@ -349,7 +385,25 @@ func (e *evaluator) evalMatMul(n *BinOp) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		if rv.O != nil {
+			return Value{}, oocUnsupported("%*% with an out-of-core right operand")
+		}
 		if !innerV.IsScalar && !rv.IsScalar && rv.M.Cols() == 1 {
+			// t(X) %*% y with out-of-core X streams blocks through VecMat.
+			if innerV.O != nil {
+				if innerV.O.Rows() != rv.M.Rows() {
+					return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d",
+						innerV.O.Cols(), innerV.O.Rows(), rv.M.Rows(), rv.M.Cols())
+				}
+				res := innerV.O.VecMat(rv.M.Col(0))
+				e.stats.Flops += 2 * float64(innerV.O.Rows()) * float64(innerV.O.Cols())
+				e.allocCells(len(res), 1)
+				out, err := la.NewDenseData(len(res), 1, res)
+				if err != nil {
+					return Value{}, err
+				}
+				return Matrix(out), nil
+			}
 			a := innerV.M
 			if a.Rows() != rv.M.Rows() {
 				return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d", a.Cols(), a.Rows(), rv.M.Rows(), rv.M.Cols())
@@ -363,6 +417,9 @@ func (e *evaluator) evalMatMul(n *BinOp) (Value, error) {
 				out.Set(i, 0, v)
 			}
 			return Matrix(out), nil
+		}
+		if innerV.O != nil {
+			return Value{}, oocUnsupported("t(X) %*% B with a wide right operand")
 		}
 		// Fall through: generic path with materialized operands.
 		return e.genericMatMul(Value{M: innerV.M.T()}, rv)
@@ -381,6 +438,27 @@ func (e *evaluator) evalMatMul(n *BinOp) (Value, error) {
 func (e *evaluator) genericMatMul(l, r Value) (Value, error) {
 	if l.IsScalar || r.IsScalar {
 		return Value{}, fmt.Errorf("%%*%% needs matrices on both sides")
+	}
+	if r.O != nil {
+		return Value{}, oocUnsupported("%*% with an out-of-core right operand")
+	}
+	if l.O != nil {
+		// X %*% v with out-of-core X streams blocks through MatVec.
+		rr, rc := r.M.Dims()
+		if l.O.Cols() != rr {
+			return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d", l.O.Rows(), l.O.Cols(), rr, rc)
+		}
+		if rc != 1 {
+			return Value{}, oocUnsupported("X %*% B with a wide right operand")
+		}
+		res := l.O.MatVec(r.M.Col(0))
+		e.stats.Flops += 2 * float64(l.O.Rows()) * float64(l.O.Cols())
+		e.allocCells(len(res), 1)
+		out, err := la.NewDenseData(len(res), 1, res)
+		if err != nil {
+			return Value{}, err
+		}
+		return Matrix(out), nil
 	}
 	lr, lc := l.M.Dims()
 	rr, rc := r.M.Dims()
@@ -417,6 +495,9 @@ func (e *evaluator) evalFused(n *Fused) (Value, error) {
 		if v.IsScalar {
 			ins[i] = la.ScalarInput(v.S)
 			continue
+		}
+		if v.O != nil {
+			return Value{}, oocUnsupported("fused element-wise region")
 		}
 		r, c := v.M.Dims()
 		if rows < 0 {
@@ -465,6 +546,9 @@ func (e *evaluator) evalFused(n *Fused) (Value, error) {
 		if v.IsScalar {
 			return Value{}, fmt.Errorf("%%*%% needs matrices on both sides")
 		}
+		if v.O != nil {
+			return Value{}, oocUnsupported("%*% with an out-of-core right operand")
+		}
 		vr, vc := v.M.Dims()
 		if vc != 1 || vr != cols {
 			return Value{}, fmt.Errorf("%%*%% on %dx%d and %dx%d", rows, cols, vr, vc)
@@ -480,8 +564,22 @@ func (e *evaluator) evalFused(n *Fused) (Value, error) {
 }
 
 func (e *evaluator) evalCall(n *Call) (Value, error) {
-	// Fused operators first: they bypass child materialization.
+	// Fused operators and read() first: they bypass child materialization
+	// (read's argument is a string literal, not an evaluable expression).
 	switch n.Fn {
+	case "read":
+		s, ok := n.Args[0].(*StrLit)
+		if !ok {
+			return Value{}, fmt.Errorf("read: argument must be a string literal path")
+		}
+		v, err := readMatrix(s.Val)
+		if err != nil {
+			return Value{}, fmt.Errorf("read(%q): %w", s.Val, err)
+		}
+		if v.M != nil {
+			e.allocCells(v.M.Rows(), v.M.Cols())
+		}
+		return v, nil
 	case "__sumsq":
 		v, err := e.eval(n.Args[0])
 		if err != nil {
@@ -489,6 +587,9 @@ func (e *evaluator) evalCall(n *Call) (Value, error) {
 		}
 		if v.IsScalar {
 			return Scalar(v.S * v.S), nil
+		}
+		if v.O != nil {
+			return Value{}, oocUnsupported("sum(X^2)")
 		}
 		e.stats.Flops += 2 * float64(v.M.Rows()) * float64(v.M.Cols())
 		return Scalar(v.M.SumSq()), nil
@@ -503,6 +604,9 @@ func (e *evaluator) evalCall(n *Call) (Value, error) {
 		}
 		if a.IsScalar || b.IsScalar {
 			return Value{}, fmt.Errorf("__tracemm needs matrices")
+		}
+		if a.O != nil || b.O != nil {
+			return Value{}, oocUnsupported("trace(A %*% B)")
 		}
 		ar, ac := a.M.Dims()
 		br, bc := b.M.Dims()
@@ -525,11 +629,26 @@ func (e *evaluator) evalCall(n *Call) (Value, error) {
 		if args[i].IsScalar {
 			return nil, fmt.Errorf("%s: argument %d must be a matrix", n.Fn, i+1)
 		}
+		if args[i].O != nil {
+			return nil, oocUnsupported(n.Fn)
+		}
 		return args[i].M, nil
+	}
+	// oocColSums streams per-column sums for aggregate builtins over
+	// out-of-core operands.
+	oocColSums := func(m *ooc.Matrix) ([]float64, error) {
+		sums, err := m.ColSums()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Fn, err)
+		}
+		return sums, nil
 	}
 	elementwise := func(f func(float64) float64) (Value, error) {
 		if args[0].IsScalar {
 			return Scalar(f(args[0].S)), nil
+		}
+		if args[0].O != nil {
+			return Value{}, oocUnsupported(n.Fn)
 		}
 		out := args[0].M.Clone().Apply(f)
 		e.allocCells(out.Rows(), out.Cols())
@@ -543,20 +662,36 @@ func (e *evaluator) evalCall(n *Call) (Value, error) {
 		}
 		e.allocCells(m.Cols(), m.Rows())
 		return Matrix(m.T()), nil
-	case "sum":
+	case "sum", "mean":
 		if args[0].IsScalar {
 			return args[0], nil
 		}
-		return Scalar(args[0].M.Sum()), nil
-	case "mean":
-		if args[0].IsScalar {
-			return args[0], nil
+		var total float64
+		var cells float64
+		if o := args[0].O; o != nil {
+			sums, err := oocColSums(o)
+			if err != nil {
+				return Value{}, err
+			}
+			for _, v := range sums {
+				total += v
+			}
+			cells = float64(o.Rows()) * float64(o.Cols())
+		} else {
+			m := args[0].M
+			total = m.Sum()
+			cells = float64(m.Rows()) * float64(m.Cols())
 		}
-		m := args[0].M
-		return Scalar(m.Sum() / float64(m.Rows()*m.Cols())), nil
+		if n.Fn == "mean" {
+			return Scalar(total / cells), nil
+		}
+		return Scalar(total), nil
 	case "min", "max":
 		if args[0].IsScalar {
 			return args[0], nil
+		}
+		if args[0].O != nil {
+			return Value{}, oocUnsupported(n.Fn)
 		}
 		data := args[0].M.RawData()
 		best := data[0]
@@ -576,12 +711,18 @@ func (e *evaluator) evalCall(n *Call) (Value, error) {
 		}
 		return Scalar(la.Trace(m)), nil
 	case "nrow":
+		if o := args[0].O; o != nil {
+			return Scalar(float64(o.Rows())), nil
+		}
 		m, err := needMatrix(0)
 		if err != nil {
 			return Value{}, err
 		}
 		return Scalar(float64(m.Rows())), nil
 	case "ncol":
+		if o := args[0].O; o != nil {
+			return Scalar(float64(o.Cols())), nil
+		}
 		m, err := needMatrix(0)
 		if err != nil {
 			return Value{}, err
@@ -600,6 +741,18 @@ func (e *evaluator) evalCall(n *Call) (Value, error) {
 		e.allocCells(len(sums), 1)
 		return Matrix(out), nil
 	case "colSums":
+		if o := args[0].O; o != nil {
+			sums, err := oocColSums(o)
+			if err != nil {
+				return Value{}, err
+			}
+			out, err := la.NewDenseData(1, len(sums), sums)
+			if err != nil {
+				return Value{}, err
+			}
+			e.allocCells(1, len(sums))
+			return Matrix(out), nil
+		}
 		m, err := needMatrix(0)
 		if err != nil {
 			return Value{}, err
@@ -719,6 +872,9 @@ func (e *evaluator) evalIndex(n *Index) (Value, error) {
 	}
 	if base.IsScalar {
 		return Value{}, fmt.Errorf("cannot index a scalar")
+	}
+	if base.O != nil {
+		return Value{}, oocUnsupported("indexing")
 	}
 	rows, cols := base.M.Dims()
 	r0, r1, err := e.resolveSpec(n.Row, rows, "row")

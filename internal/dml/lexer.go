@@ -23,6 +23,7 @@ const (
 	tokColon
 	tokLBracket
 	tokRBracket
+	tokStr // double-quoted string literal; text holds the unquoted value
 )
 
 type token struct {
@@ -110,6 +111,45 @@ func lex(src string) ([]token, error) {
 				toks = append(toks, token{kind: tokOp, text: "=", pos: i})
 				i++
 			}
+		case c == '"':
+			j := i + 1
+			var sb []byte
+			closed := false
+			for j < n {
+				cj := src[j]
+				if cj == '"' {
+					closed = true
+					j++
+					break
+				}
+				if cj == '\n' {
+					break
+				}
+				if cj == '\\' && j+1 < n {
+					j++
+					switch src[j] {
+					case '"':
+						sb = append(sb, '"')
+					case '\\':
+						sb = append(sb, '\\')
+					case 'n':
+						sb = append(sb, '\n')
+					case 't':
+						sb = append(sb, '\t')
+					default:
+						return nil, fmt.Errorf("dml: %s: unknown escape \\%c in string", posString(src, j-1), src[j])
+					}
+					j++
+					continue
+				}
+				sb = append(sb, cj)
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("dml: %s: unterminated string literal", posString(src, i))
+			}
+			toks = append(toks, token{kind: tokStr, text: string(sb), pos: i})
+			i = j
 		case c == '+' || c == '-' || c == '*' || c == '/' || c == '^':
 			toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
 			i++

@@ -1,0 +1,272 @@
+package dml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmml/internal/la"
+	"dmml/internal/storage"
+)
+
+// newColumn wraps a slice as an n x 1 matrix Value.
+func newColumn(v []float64) (Value, error) {
+	m, err := la.NewDenseData(len(v), 1, v)
+	if err != nil {
+		return Value{}, err
+	}
+	return Matrix(m), nil
+}
+
+// writeCSV writes an rows x cols CSV of low-cardinality values (compressible,
+// like quantized features) plus a deterministic noise column.
+func writeCSV(t *testing.T, rows, cols int) string {
+	t.Helper()
+	r := rand.New(rand.NewSource(17))
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			if j == cols-1 {
+				fmt.Fprintf(&sb, "%.6f", r.NormFloat64())
+			} else {
+				fmt.Fprintf(&sb, "%d", r.Intn(3+j))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runProg(t *testing.T, src string, env Env) Value {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, _, err := p.Run(env)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return v
+}
+
+func TestStringLiteralLexing(t *testing.T) {
+	p, err := Parse(`X = read("a\"b\\c\n\t.csv")` + "\nnrow(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := p.Stmts[0].Expr.(*Call)
+	got := call.Args[0].(*StrLit).Val
+	if got != "a\"b\\c\n\t.csv" {
+		t.Fatalf("unescaped value = %q", got)
+	}
+	for _, bad := range []string{
+		`read("unterminated`,
+		"read(\"newline\nin string\")",
+		`read("bad \q escape")`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q): want lex error", bad)
+		}
+	}
+}
+
+func TestStringOutsideReadRejected(t *testing.T) {
+	for _, src := range []string{
+		`x = "hello"` + "\nx + 1",
+		`1 + "two"`,
+		`sum("m")`,
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, _, err := p.Run(Env{}); err == nil {
+			t.Fatalf("Run(%q): want error for string outside read()", src)
+		}
+	}
+}
+
+func TestReadNonLiteralRejected(t *testing.T) {
+	p, err := Parse("x = 1\nread(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run(Env{}); err == nil {
+		t.Fatal("want error for read with non-string argument")
+	}
+}
+
+func TestReadDense(t *testing.T) {
+	path := writeCSV(t, 40, 4)
+	v := runProg(t, fmt.Sprintf("X = read(%q)\nnrow(X) * 1000 + ncol(X)", path), Env{})
+	if !v.IsScalar || v.S != 40*1000+4 {
+		t.Fatalf("dims probe = %v, want 40004", v)
+	}
+	x := runProg(t, fmt.Sprintf("read(%q)", path), Env{})
+	if x.M == nil || x.O != nil {
+		t.Fatalf("read without config must be dense, got %v", x)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	p, err := Parse(`read("/definitely/not/there.csv")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run(Env{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	dir := t.TempDir()
+	ragged := filepath.Join(dir, "ragged.csv")
+	os.WriteFile(ragged, []byte("1,2\n3\n"), 0o644)
+	nonnum := filepath.Join(dir, "nonnum.csv")
+	os.WriteFile(nonnum, []byte("1,two\n"), 0o644)
+	empty := filepath.Join(dir, "empty.csv")
+	os.WriteFile(empty, []byte(""), 0o644)
+	for _, path := range []string{ragged, nonnum, empty, dir} {
+		p, err := Parse(fmt.Sprintf("read(%q)", path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.Run(Env{}); err == nil {
+			t.Fatalf("read(%q): want parse/IO error", path)
+		}
+	}
+}
+
+// oocEnvForFile installs a read config whose budget is far below the file
+// size, so read() goes out-of-core, and restores the default on cleanup.
+func oocEnvForFile(t *testing.T, budget int64, blockRows int, prefetch bool) {
+	t.Helper()
+	bp, err := storage.NewBufferPoolBytes(budget, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetReadConfig(ReadConfig{Pool: bp, Budget: budget / 4, BlockRows: blockRows, Prefetch: prefetch})
+	t.Cleanup(func() { SetReadConfig(ReadConfig{}) })
+}
+
+func TestReadOutOfCoreMatchesDense(t *testing.T) {
+	path := writeCSV(t, 600, 5)
+	probes := []string{
+		"nrow(X)",
+		"ncol(X)",
+		"sum(X)",
+		"mean(X)",
+		"sum(colSums(X))",
+		"sum(X %*% w)",
+		"sum(t(X) %*% y)",
+		"sum(t(X) %*% X)",
+	}
+	env := Env{}
+	dense := runProg(t, fmt.Sprintf("X = read(%q)", path), env)
+	if dense.M == nil {
+		t.Fatal("want dense matrix before configuration")
+	}
+	w := make([]float64, 5)
+	y := make([]float64, 600)
+	r := rand.New(rand.NewSource(5))
+	for j := range w {
+		w[j] = r.NormFloat64()
+	}
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	wm, _ := newColumn(w)
+	ym, _ := newColumn(y)
+
+	want := make([]float64, len(probes))
+	for i, probe := range probes {
+		src := fmt.Sprintf("X = read(%q)\n%s", path, probe)
+		v := runProg(t, src, Env{"w": wm, "y": ym})
+		want[i] = v.S
+	}
+
+	for _, prefetch := range []bool{false, true} {
+		oocEnvForFile(t, 16*1024, 128, prefetch)
+		for i, probe := range probes {
+			src := fmt.Sprintf("X = read(%q)\n%s", path, probe)
+			v := runProg(t, src, Env{"w": wm, "y": ym})
+			if math.Abs(v.S-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("prefetch=%v probe %q = %v, want %v", prefetch, probe, v.S, want[i])
+			}
+		}
+		// And the value really is out-of-core under this config.
+		v := runProg(t, fmt.Sprintf("read(%q)", path), Env{})
+		if v.O == nil {
+			t.Fatalf("prefetch=%v: want out-of-core matrix", prefetch)
+		}
+		if v.O.NumBlocks() < 2 {
+			t.Fatalf("prefetch=%v: want multiple blocks, got %d", prefetch, v.O.NumBlocks())
+		}
+	}
+}
+
+func TestOutOfCoreUnsupportedOps(t *testing.T) {
+	path := writeCSV(t, 600, 5)
+	oocEnvForFile(t, 16*1024, 128, false)
+	for _, probe := range []string{
+		"X + 1",
+		"-X",
+		"exp(X)",
+		"min(X)",
+		"rowSums(X)",
+		"X[1, 1]",
+		"t(X)",
+		"X %*% X2",
+		"sum(sigmoid(X) - X)",
+	} {
+		src := fmt.Sprintf("X = read(%q)\nX2 = read(%q)\n%s", path, path, probe)
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.Run(Env{}); err == nil {
+			t.Fatalf("probe %q: want out-of-core unsupported error", probe)
+		}
+	}
+}
+
+// TestOutOfCoreGradientPipeline exercises the physical patterns a batch
+// gradient program needs — the workload read() paging exists for.
+func TestOutOfCoreGradientPipeline(t *testing.T) {
+	path := writeCSV(t, 900, 4)
+	src := fmt.Sprintf(`X = read(%q)
+n = nrow(X)
+g = t(X) %%*%% (X %%*%% w - y) / n
+sum(g)`, path)
+
+	env := Env{}
+	denseX := runProg(t, fmt.Sprintf("read(%q)", path), env)
+	w := make([]float64, 4)
+	y := make([]float64, 900)
+	r := rand.New(rand.NewSource(6))
+	for j := range w {
+		w[j] = r.NormFloat64()
+	}
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	wm, _ := newColumn(w)
+	ym, _ := newColumn(y)
+	_ = denseX
+	want := runProg(t, src, Env{"w": wm, "y": ym})
+
+	oocEnvForFile(t, 8*1024, 64, true)
+	got := runProg(t, src, Env{"w": wm, "y": ym})
+	if math.Abs(got.S-want.S) > 1e-9*(1+math.Abs(want.S)) {
+		t.Fatalf("ooc gradient = %v, want %v", got.S, want.S)
+	}
+}

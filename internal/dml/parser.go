@@ -342,6 +342,9 @@ func (p *parser) parsePrimary() (Node, error) {
 	case tokNum:
 		p.next()
 		return &NumLit{Val: t.num, Pos: t.pos}, nil
+	case tokStr:
+		p.next()
+		return &StrLit{Val: t.text, Pos: t.pos}, nil
 	case tokIdent:
 		p.next()
 		if p.peek().kind != tokLParen {

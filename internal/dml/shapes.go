@@ -23,9 +23,12 @@ func (s Shape) isMatrix() bool { return s.Known && !s.Scalar }
 func ShapesFromEnv(env Env) map[string]Shape {
 	out := make(map[string]Shape, len(env))
 	for name, v := range env {
-		if v.IsScalar {
+		switch {
+		case v.IsScalar:
 			out[name] = scalarShape()
-		} else {
+		case v.O != nil:
+			out[name] = matShape(v.O.Rows(), v.O.Cols())
+		default:
 			r, c := v.M.Dims()
 			out[name] = matShape(r, c)
 		}
@@ -43,6 +46,8 @@ const (
 	ShapeScalar
 	// ShapeMatrix is a matrix; each dimension is known or DimUnknown.
 	ShapeMatrix
+	// ShapeString is a string literal — only legal as the argument of read().
+	ShapeString
 )
 
 // DimUnknown marks a matrix dimension the analyzer could not pin down.
@@ -69,6 +74,7 @@ func constAbs(v float64) AbsShape {
 func matrixAbs(r, c int) AbsShape {
 	return AbsShape{Kind: ShapeMatrix, Rows: r, Cols: c}
 }
+func stringAbs() AbsShape { return AbsShape{Kind: ShapeString} }
 
 // IsScalar reports whether the value is definitely a scalar.
 func (a AbsShape) IsScalar() bool { return a.Kind == ShapeScalar }
@@ -97,6 +103,8 @@ func (a AbsShape) String() string {
 			return fmt.Sprintf("scalar(%g)", *a.constVal)
 		}
 		return "scalar"
+	case ShapeString:
+		return "string"
 	case ShapeMatrix:
 		dim := func(d int) string {
 			if d == DimUnknown {
@@ -243,6 +251,8 @@ func inferAbs(n Node, env absEnv, h *shapeHooks) AbsShape {
 	switch t := n.(type) {
 	case *NumLit:
 		return constAbs(t.Val)
+	case *StrLit:
+		return stringAbs()
 	case *Var:
 		b, ok := env[t.Name]
 		if !ok {
@@ -278,6 +288,11 @@ func inferAbs(n Node, env absEnv, h *shapeHooks) AbsShape {
 func inferBinOp(t *BinOp, env absEnv, h *shapeHooks) AbsShape {
 	l := inferAbs(t.Left, env, h)
 	r := inferAbs(t.Right, env, h)
+	if l.Kind == ShapeString || r.Kind == ShapeString {
+		h.say(t.Pos, SevError, CodeTypeMismatch,
+			"strings are only valid as the argument of read()")
+		return topAbs()
+	}
 	if compareOps[t.Op] {
 		if l.IsMatrix() || r.IsMatrix() {
 			h.say(t.Pos, SevError, CodeTypeMismatch,
@@ -387,6 +402,13 @@ func inferCall(t *Call, env absEnv, h *shapeHooks) AbsShape {
 		}
 	}
 	switch t.Fn {
+	case "read":
+		if args[0].Kind != ShapeString {
+			h.say(t.Args[0].pos(), SevError, CodeTypeMismatch,
+				"read: argument must be a string literal path")
+		}
+		// Dimensions come from the file at runtime.
+		return matrixAbs(DimUnknown, DimUnknown)
 	case "t":
 		needMatrix(0)
 		if args[0].IsMatrix() {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 18 {
+	if len(tables) != 19 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	seen := map[string]bool{}
@@ -313,5 +314,80 @@ func TestE16CompiledFusionShapes(t *testing.T) {
 		if regions < 1 || compiled != regions {
 			t.Fatalf("row %d (%s): regions=%v compiled=%v", i, tbl.Rows[i][0], regions, compiled)
 		}
+	}
+}
+
+// TestE17OutOfCoreInvariants pins the out-of-core training datapath claims on
+// the structured results: the data really is 4x the budget, resident block
+// memory never exceeds the budget on any variant, the raw-page baseline
+// really thrashes (spill reads every epoch), compression shrinks the paged
+// footprint enough that the working set fits in budget, and the compressed
+// datapath beats the raw page-thrash wall clock by at least 1.5x. The
+// prefetch-vs-no-prefetch wall-clock win needs a second core to hide decode
+// latency behind compute, so that ratio is only pinned on multi-core hosts.
+//
+// The structural invariants must hold on every run. The wall-clock ratios
+// get up to three attempts before the test concludes the speedup is gone:
+// a shared CI host can steal tens of milliseconds from any single run, which
+// is the same order as the quick-scale training times being compared.
+func TestE17OutOfCoreInvariants(t *testing.T) {
+	const attempts = 3
+	for attempt := 1; ; attempt++ {
+		results, err := e17Run(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 3 {
+			t.Fatalf("variants = %d, want 3", len(results))
+		}
+		byName := map[string]e17Result{}
+		for _, r := range results {
+			byName[r.variant] = r
+			if r.denseBytes < 4*r.budget {
+				t.Fatalf("%s: dense %d bytes is under 4x the %d-byte budget", r.variant, r.denseBytes, r.budget)
+			}
+			if r.maxResident > r.budget {
+				t.Fatalf("%s: resident %d bytes exceeds the %d-byte budget", r.variant, r.maxResident, r.budget)
+			}
+			if r.maxResident == 0 {
+				t.Fatalf("%s: residency probe never sampled", r.variant)
+			}
+			if r.finalLoss <= 0 || math.IsNaN(r.finalLoss) || r.finalLoss > math.Log(2) {
+				t.Fatalf("%s: final loss %v did not improve on the w=0 loss ln2", r.variant, r.finalLoss)
+			}
+		}
+		thrash, cla, pre := byName["raw-thrash"], byName["cla"], byName["cla+prefetch"]
+		// The raw baseline cannot fit 4x-budget pages: it must evict and re-read.
+		if thrash.evictions == 0 || thrash.spillReads == 0 {
+			t.Fatalf("raw-thrash did not thrash: evictions=%d spillReads=%d", thrash.evictions, thrash.spillReads)
+		}
+		// CLA shrinks the paged footprint at least 2x on quantized telemetry.
+		if ratio := float64(cla.denseBytes) / float64(cla.pagedBytes); ratio < 2 {
+			t.Fatalf("compression ratio %.2f < 2 (paged %d of dense %d)", ratio, cla.pagedBytes, cla.denseBytes)
+		}
+		// Wall clock: compressed paging beats raw page thrash by a wide margin.
+		// Skipped under the race detector, whose instrumentation slows the
+		// compute-bound compressed path far more than the I/O-bound thrash
+		// path; the structural invariants above still ran.
+		if raceEnabled {
+			return
+		}
+		claOK := float64(thrash.train)/float64(cla.train) >= 1.5
+		preOK := true
+		if runtime.NumCPU() > 1 && runtime.GOMAXPROCS(0) > 1 {
+			preOK = float64(cla.train)/float64(pre.train) >= 1.5
+		}
+		if claOK && preOK {
+			return
+		}
+		if attempt == attempts {
+			if !claOK {
+				t.Fatalf("cla speedup over raw-thrash %.2fx < 1.5x (%v vs %v)",
+					float64(thrash.train)/float64(cla.train), cla.train, thrash.train)
+			}
+			t.Fatalf("prefetch speedup %.2fx < 1.5x (%v vs %v)",
+				float64(cla.train)/float64(pre.train), pre.train, cla.train)
+		}
+		t.Logf("attempt %d: wall-clock pin missed (cla ok=%v prefetch ok=%v), retrying", attempt, claOK, preOK)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets timing pins skip under the race detector, whose
+// instrumentation distorts relative datapath costs (compute-bound paths
+// slow far more than I/O-bound ones).
+const raceEnabled = true

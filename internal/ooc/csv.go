@@ -1,0 +1,93 @@
+package ooc
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"dmml/internal/la"
+	"dmml/internal/storage"
+)
+
+// ReadCSV streams numeric CSV from r into a block-paged matrix: rows
+// accumulate into one dense block buffer at a time, each full block is
+// compressed and paged out through the builder, and the buffer is reused —
+// peak memory is one block plus whatever the pool keeps resident, no matter
+// how large the file is.
+func ReadCSV(bp *storage.BufferPool, r io.Reader, opts Options) (*Matrix, error) {
+	opts = opts.withDefaults()
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var (
+		b     *Builder
+		cols  int
+		buf   []float64 // block accumulation buffer, opts.BlockRows*cols
+		nrows int       // rows currently in buf
+		row   int       // absolute row, for errors
+	)
+	flush := func() error {
+		if nrows == 0 {
+			return nil
+		}
+		d, err := la.NewDenseData(nrows, cols, buf[:nrows*cols])
+		if err != nil {
+			return err
+		}
+		if err := b.AppendBlock(d); err != nil {
+			return err
+		}
+		nrows = 0
+		return nil
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ooc: csv read: %w", err)
+		}
+		if b == nil {
+			cols = len(rec)
+			b = NewBuilder(bp, cols, opts)
+			buf = make([]float64, opts.BlockRows*cols)
+		}
+		if len(rec) != cols {
+			return nil, fmt.Errorf("ooc: csv row %d has %d fields, want %d", row, len(rec), cols)
+		}
+		dst := buf[nrows*cols : (nrows+1)*cols]
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ooc: csv row %d col %d: %w", row, j, err)
+			}
+			dst[j] = v
+		}
+		nrows++
+		row++
+		if nrows == opts.BlockRows {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("ooc: csv input is empty")
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// ReadCSVFile streams a CSV file into a block-paged matrix.
+func ReadCSVFile(bp *storage.BufferPool, path string, opts Options) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(bp, f, opts)
+}

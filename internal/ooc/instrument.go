@@ -1,0 +1,26 @@
+package ooc
+
+import "dmml/internal/metrics"
+
+// Observability instruments (no-ops until metrics.Enable). Together with the
+// storage.bufferpool.* counters these answer the out-of-core questions: how
+// often does a block pin hit the pool, how often does the prefetcher stay
+// ahead of the kernel, and where does the time go (decode vs decompress).
+var (
+	mBlocksBuilt     = metrics.NewCounter("ooc.blocks.built")
+	mBlockPins       = metrics.NewCounter("ooc.blocks.pins")
+	mPrefetchHits    = metrics.NewCounter("ooc.prefetch.hits")
+	mPrefetchMisses  = metrics.NewCounter("ooc.prefetch.misses")
+	mPrefetchHitRate = metrics.NewGauge("ooc.prefetch.hit_rate")
+	mDecodeTimer     = metrics.NewTimer("ooc.block.decode")
+	mDecompressTimer = metrics.NewTimer("ooc.block.decompress")
+)
+
+// updatePrefetchHitRate recomputes the process-wide prefetch hit-rate gauge
+// from the cumulative counters.
+func updatePrefetchHitRate() {
+	h, m := mPrefetchHits.Value(), mPrefetchMisses.Value()
+	if h+m > 0 {
+		mPrefetchHitRate.Set(float64(h) / float64(h+m))
+	}
+}

@@ -1,0 +1,240 @@
+// Package ooc implements the out-of-core training datapath: a row-block
+// partitioned matrix whose blocks live in a storage.BufferPool as pages —
+// CLA-compressed (via internal/compress's page codec) when the encoding pays,
+// raw row-major otherwise — with an async double-buffered prefetcher that
+// pins block N+1 while the optimizer computes on block N.
+//
+// The paper's out-of-core and CLA sections motivate the design: training on
+// data larger than RAM at near in-memory speed requires (a) bounded resident
+// memory with LRU spill, (b) compression so each disk/pool byte carries more
+// rows, and (c) operating directly on the compressed form so pinning a block
+// does not cost a decompression. ooc.Matrix implements opt.BulkDataInto and
+// opt.BlockData, so every bulk solver in internal/opt accepts one unchanged.
+package ooc
+
+import (
+	"fmt"
+
+	"dmml/internal/compress"
+	"dmml/internal/la"
+	"dmml/internal/opt"
+	"dmml/internal/storage"
+)
+
+// Options tunes block construction.
+type Options struct {
+	// BlockRows is the number of rows per block (default 4096). The last
+	// block may be short.
+	BlockRows int
+	// NoCompress disables CLA compression: every block is stored as a raw
+	// row-major page. Mostly for experiments comparing the two layouts.
+	NoCompress bool
+	// MinRatio is the compression ratio (dense bytes / page bytes) a block
+	// must achieve for the compressed form to be kept; below it the raw
+	// layout wins because decoding cost buys no byte savings. Default 1.2.
+	MinRatio float64
+	// Prefetch enables the async double-buffered block prefetcher for
+	// ForEachBlock streams. Default off; SetPrefetch toggles it per matrix.
+	Prefetch bool
+	// CompressOpts forwards planner options to internal/compress.
+	CompressOpts compress.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockRows <= 0 {
+		o.BlockRows = 4096
+	}
+	if o.MinRatio <= 0 {
+		o.MinRatio = 1.2
+	}
+	return o
+}
+
+// blockMeta describes one row block without holding its data.
+type blockMeta struct {
+	startRow   int
+	rows       int
+	words      int // page length in float64 words
+	compressed bool
+}
+
+// Matrix is a block-partitioned matrix whose row blocks are buffer-pool
+// pages. It is immutable after Build/FromDense. Reads pin pages on demand, so
+// resident memory is bounded by the pool's budget regardless of matrix size.
+type Matrix struct {
+	bp       *storage.BufferPool
+	owner    int
+	rows     int
+	cols     int
+	blocks   []blockMeta
+	prefetch bool
+}
+
+// Rows implements opt.BulkData.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols implements opt.BulkData.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Dims returns the matrix dimensions.
+func (m *Matrix) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NumBlocks implements opt.BlockData.
+func (m *Matrix) NumBlocks() int { return len(m.blocks) }
+
+// SetPrefetch toggles async block prefetch for subsequent streams.
+func (m *Matrix) SetPrefetch(on bool) { m.prefetch = on }
+
+// CompressedBlocks returns how many blocks kept the CLA-compressed layout.
+func (m *Matrix) CompressedBlocks() int {
+	n := 0
+	for _, b := range m.blocks {
+		if b.compressed {
+			n++
+		}
+	}
+	return n
+}
+
+// PagedBytes returns the total page bytes across all blocks — the footprint
+// the matrix would have if fully resident, and the amount of disk it occupies
+// when fully spilled.
+func (m *Matrix) PagedBytes() int64 {
+	var n int64
+	for _, b := range m.blocks {
+		n += 8 * int64(b.words)
+	}
+	return n
+}
+
+// DenseBytes returns the footprint of the equivalent fully-dense matrix.
+func (m *Matrix) DenseBytes() int64 { return 8 * int64(m.rows) * int64(m.cols) }
+
+// Drop releases every page (resident and spilled) backing the matrix.
+func (m *Matrix) Drop() error { return m.bp.DropOwner(m.owner) }
+
+// Builder assembles a Matrix block-by-block so sources (CSV readers, result
+// writers) never materialize more than one block of dense data at a time.
+type Builder struct {
+	bp    *storage.BufferPool
+	owner int
+	cols  int
+	opts  Options
+	m     *Matrix
+	done  bool
+}
+
+// NewBuilder starts building a cols-wide matrix in bp.
+func NewBuilder(bp *storage.BufferPool, cols int, opts Options) *Builder {
+	opts = opts.withDefaults()
+	owner := bp.RegisterOwner()
+	return &Builder{
+		bp:    bp,
+		owner: owner,
+		cols:  cols,
+		opts:  opts,
+		m:     &Matrix{bp: bp, owner: owner, cols: cols, prefetch: opts.Prefetch},
+	}
+}
+
+// AppendBlock adds d's rows as the next block. The block is compressed when
+// compression pays (per Options), written into a pool page, and unpinned, so
+// the pool may evict or spill it immediately.
+func (b *Builder) AppendBlock(d *la.Dense) error {
+	if b.done {
+		return fmt.Errorf("ooc: AppendBlock after Finish")
+	}
+	if d.Cols() != b.cols {
+		return fmt.Errorf("ooc: AppendBlock with %d cols, want %d", d.Cols(), b.cols)
+	}
+	meta := blockMeta{startRow: b.m.rows, rows: d.Rows()}
+	var cm *compress.Matrix
+	if !b.opts.NoCompress {
+		c := compress.Compress(d, b.opts.CompressOpts)
+		words := compress.EncodedLen(c)
+		if float64(d.Rows()*d.Cols())/float64(words) >= b.opts.MinRatio {
+			cm = c
+			meta.compressed = true
+			meta.words = words
+		}
+	}
+	if cm == nil {
+		meta.words = d.Rows() * d.Cols()
+	}
+	id := storage.PageID{Owner: b.owner, Index: len(b.m.blocks)}
+	page, err := b.bp.Pin(id, meta.words)
+	if err != nil {
+		return fmt.Errorf("ooc: AppendBlock: %w", err)
+	}
+	if cm != nil {
+		if err := compress.EncodeInto(page, cm); err != nil {
+			b.bp.Unpin(id, false)
+			return fmt.Errorf("ooc: AppendBlock: %w", err)
+		}
+	} else {
+		copy(page, d.RawData())
+	}
+	b.bp.Unpin(id, true)
+	b.m.blocks = append(b.m.blocks, meta)
+	b.m.rows += meta.rows
+	mBlocksBuilt.Inc()
+	return nil
+}
+
+// Finish flushes all dirty pages to disk (so the matrix survives pool
+// eviction of any block) and returns the completed Matrix.
+func (b *Builder) Finish() (*Matrix, error) {
+	if b.done {
+		return nil, fmt.Errorf("ooc: Finish called twice")
+	}
+	b.done = true
+	if b.m.rows == 0 {
+		return nil, fmt.Errorf("ooc: Finish with no rows appended")
+	}
+	if err := b.bp.FlushAll(); err != nil {
+		return nil, fmt.Errorf("ooc: Finish: %w", err)
+	}
+	return b.m, nil
+}
+
+// FromDense partitions m into blocks and pages them into bp. The source is
+// read one block at a time, so peak extra memory is one block's dense copy.
+func FromDense(bp *storage.BufferPool, m *la.Dense, opts Options) (*Matrix, error) {
+	opts = opts.withDefaults()
+	b := NewBuilder(bp, m.Cols(), opts)
+	rows, cols := m.Dims()
+	for r0 := 0; r0 < rows; r0 += opts.BlockRows {
+		nb := opts.BlockRows
+		if r0+nb > rows {
+			nb = rows - r0
+		}
+		blk, err := la.NewDenseData(nb, cols, m.RawData()[r0*cols:(r0+nb)*cols])
+		if err != nil {
+			return nil, err
+		}
+		if err := b.AppendBlock(blk); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// ToDense materializes the full matrix — the decompress-on-pin path. Only
+// use it when the result is known to fit in memory (tests, small outputs).
+func (m *Matrix) ToDense() (*la.Dense, error) {
+	out := la.NewDense(m.rows, m.cols)
+	err := m.ForEachBlock(func(rb opt.RowBlock) error {
+		b := rb.(*block)
+		dst := out.RawData()[b.meta.startRow*m.cols : (b.meta.startRow+b.meta.rows)*m.cols]
+		return b.decompressInto(dst)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var (
+	_ opt.BulkDataInto = (*Matrix)(nil)
+	_ opt.BlockData    = (*Matrix)(nil)
+)

@@ -97,6 +97,11 @@ func lossAndGradientInto(data BulkData, y, w []float64, loss Loss, l2 float64, m
 	if len(y) != n {
 		panic(fmt.Sprintf("opt: %d labels for %d rows", len(y), n))
 	}
+	if bd, ok := data.(BlockData); ok {
+		// Out-of-core sources stream block-by-block: one pass, bounded
+		// resident memory, prefetch handled by the source.
+		return lossAndGradientStream(bd, y, w, loss, l2, margins, derivs, grad)
+	}
 	di, hasInto := data.(BulkDataInto)
 	if hasInto {
 		di.MatVecInto(margins, w)

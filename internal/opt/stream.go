@@ -1,0 +1,149 @@
+package opt
+
+import (
+	"fmt"
+
+	"dmml/internal/la"
+	"dmml/internal/pool"
+)
+
+// RowBlock is one resident row-block of a larger-than-memory matrix. Blocks
+// are only valid inside the ForEachBlock callback that delivered them — the
+// backing page may be unpinned (and evicted) as soon as the callback returns.
+type RowBlock interface {
+	// StartRow is the block's first row index in the full matrix.
+	StartRow() int
+	// Rows is the number of rows in this block.
+	Rows() int
+	// Cols is the number of columns (same for every block).
+	Cols() int
+	// MatVecInto computes Xb·v into dst (length Rows, block-local) and
+	// returns dst.
+	MatVecInto(dst, v []float64) []float64
+	// VecMatAccum adds xᵀ·Xb into out (length Cols); x is block-local with
+	// length Rows.
+	VecMatAccum(out, x []float64)
+}
+
+// BlockData is implemented by out-of-core sources whose rows stream through
+// memory block-by-block (e.g. ooc.Matrix). Solvers that detect it switch to a
+// single-pass streaming evaluation that touches each block exactly once per
+// iteration, so the source can bound resident memory and prefetch ahead.
+type BlockData interface {
+	BulkData
+	// NumBlocks returns the number of row blocks.
+	NumBlocks() int
+	// ForEachBlock invokes f for every block in row order. It stops on the
+	// first error and returns it.
+	ForEachBlock(f func(b RowBlock) error) error
+}
+
+// lossAndGradientStream is the BlockData evaluation of lossAndGradientInto:
+// one pass over the blocks computing margins, pointwise derivatives, and the
+// gradient accumulation per block. A single pass suffices because the loss
+// derivative at row i depends only on that row's margin — the block's
+// contribution to the gradient is complete the moment its margins are.
+func lossAndGradientStream(data BlockData, y, w []float64, loss Loss, l2 float64, margins, derivs, grad []float64) float64 {
+	n := data.Rows()
+	if len(y) != n {
+		panic(fmt.Sprintf("opt: %d labels for %d rows", len(y), n))
+	}
+	for j := range grad {
+		grad[j] = 0
+	}
+	total := 0.0
+	err := data.ForEachBlock(func(b RowBlock) error {
+		r0, nb := b.StartRow(), b.Rows()
+		mb := margins[r0 : r0+nb]
+		db := derivs[r0 : r0+nb]
+		b.MatVecInto(mb, w)
+		for i, m := range mb {
+			total += loss.Value(m, y[r0+i])
+			db[i] = loss.Deriv(m, y[r0+i])
+		}
+		b.VecMatAccum(grad, db)
+		return nil
+	})
+	if err != nil {
+		// Solver iteration loops have no error path; a block source failing
+		// mid-pass means its backing storage is gone, which is fatal.
+		panic(fmt.Sprintf("opt: block stream failed: %v", err))
+	}
+	invN := 1 / float64(n)
+	for j := range grad {
+		grad[j] = grad[j]*invN + l2*w[j]
+	}
+	return total*invN + 0.5*l2*la.Dot(w, w)
+}
+
+// StreamConfig configures block-streaming SGD.
+type StreamConfig struct {
+	Step   float64 // initial step size (required > 0)
+	Decay  float64 // per-epoch multiplicative step decay (0 = none)
+	L2     float64 // L2 regularization strength
+	Epochs int     // number of passes over the data (required > 0)
+}
+
+// StreamingSGD fits w by block-wise minibatch gradient descent: each resident
+// block is one minibatch, so a full epoch is one sequential pass over the
+// block stream — the access pattern the out-of-core prefetcher is built for.
+// Returns the fitted weights and the mean loss observed per epoch (computed
+// from the margins of the same pass, so it trails the final weights by one
+// update per block).
+func StreamingSGD(data BlockData, y []float64, loss Loss, cfg StreamConfig) (*GDResult, error) {
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("opt: streaming SGD step must be > 0, got %v", cfg.Step)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("opt: streaming SGD epochs must be > 0, got %d", cfg.Epochs)
+	}
+	if data.Rows() != len(y) {
+		return nil, fmt.Errorf("opt: %d labels for %d rows", len(y), data.Rows())
+	}
+	d := data.Cols()
+	w := pool.GetF64Zeroed(d)
+	defer pool.PutF64(w)
+	gradB := pool.GetF64(d)
+	defer pool.PutF64(gradB)
+	// Full-length margin/derivative scratch, sliced per block. Labels are
+	// already O(rows) in memory, so this does not change the footprint class.
+	margins := pool.GetF64(data.Rows())
+	defer pool.PutF64(margins)
+	derivs := pool.GetF64(data.Rows())
+	defer pool.PutF64(derivs)
+	res := &GDResult{}
+	step := cfg.Step
+	for e := 0; e < cfg.Epochs; e++ {
+		total := 0.0
+		err := data.ForEachBlock(func(b RowBlock) error {
+			nb := b.Rows()
+			r0 := b.StartRow()
+			mb := margins[r0 : r0+nb]
+			db := derivs[r0 : r0+nb]
+			b.MatVecInto(mb, w)
+			for i, m := range mb {
+				total += loss.Value(m, y[r0+i])
+				db[i] = loss.Deriv(m, y[r0+i])
+			}
+			for j := range gradB {
+				gradB[j] = 0
+			}
+			b.VecMatAccum(gradB, db)
+			invB := 1 / float64(nb)
+			for j := range w {
+				w[j] -= step * (gradB[j]*invB + cfg.L2*w[j])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.History = append(res.History, total/float64(data.Rows()))
+		res.Iters = e + 1
+		if cfg.Decay > 0 {
+			step *= cfg.Decay
+		}
+	}
+	res.W = la.CloneVec(w)
+	return res, nil
+}

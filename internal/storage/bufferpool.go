@@ -8,6 +8,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -30,9 +32,17 @@ type PoolStats struct {
 // BufferPool caches fixed-role float64 pages in memory up to a capacity,
 // evicting least-recently-used unpinned pages to disk. It is safe for
 // concurrent use.
+//
+// Capacity comes in two flavors: a page-count budget (NewBufferPool — every
+// page counts as one slot regardless of size) or a byte budget
+// (NewBufferPoolBytes — pages of different sizes share one memory budget,
+// the mode the out-of-core datapath uses since compressed pages are smaller
+// than dense ones).
 type BufferPool struct {
 	mu       sync.Mutex
-	capacity int
+	capacity int   // max resident pages (page-count mode; 0 in byte mode)
+	byteCap  int64 // max resident bytes (byte mode; 0 in page-count mode)
+	resBytes int64 // current resident bytes
 	dir      string
 	resident map[PageID]*page
 	onDisk   map[PageID]int // page id -> length (floats)
@@ -68,6 +78,51 @@ func NewBufferPool(capacity int, dir string) (*BufferPool, error) {
 		resident: make(map[PageID]*page),
 		onDisk:   make(map[PageID]int),
 	}, nil
+}
+
+// NewBufferPoolBytes creates a pool holding at most budget bytes of page data
+// in memory, spilling to dir (created if needed). Pages of different sizes
+// share the budget; a single page larger than the whole budget is still
+// admitted (alone) so callers cannot deadlock on one oversized block.
+func NewBufferPoolBytes(budget int64, dir string) (*BufferPool, error) {
+	if budget < 8 {
+		return nil, fmt.Errorf("storage: buffer pool byte budget %d < 8", budget)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: buffer pool dir: %w", err)
+	}
+	return &BufferPool{
+		byteCap:  budget,
+		dir:      dir,
+		resident: make(map[PageID]*page),
+		onDisk:   make(map[PageID]int),
+	}, nil
+}
+
+// ParseByteSize parses a human-readable byte count for pool budgets: a
+// non-negative integer with an optional case-insensitive B/KB/MB/GB suffix
+// (powers of 1024). "64MB", "512kb", and "1048576" are all valid.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"):
+		mult, t = 1<<30, t[:len(t)-2]
+	case strings.HasSuffix(t, "MB"):
+		mult, t = 1<<20, t[:len(t)-2]
+	case strings.HasSuffix(t, "KB"):
+		mult, t = 1<<10, t[:len(t)-2]
+	case strings.HasSuffix(t, "B"):
+		t = t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("storage: byte size %q: want a non-negative integer with optional B/KB/MB/GB suffix", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("storage: byte size %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // RegisterOwner allocates a fresh owner id for a paged object.
@@ -125,7 +180,7 @@ func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
 	}
 	bp.stats.Misses++
 	mBPMisses.Inc()
-	if err := bp.makeRoomLocked(); err != nil {
+	if err := bp.makeRoomLocked(size); err != nil {
 		return nil, err
 	}
 	p := &page{id: id, lastUsed: bp.tick, pinned: 1}
@@ -141,6 +196,7 @@ func (bp *BufferPool) Pin(id PageID, size int) ([]float64, error) {
 		p.data = make([]float64, size)
 	}
 	bp.resident[id] = p
+	bp.resBytes += 8 * int64(len(p.data))
 	return p.data, nil
 }
 
@@ -185,6 +241,7 @@ func (bp *BufferPool) DropOwner(owner int) error {
 				return fmt.Errorf("storage: DropOwner %d: page %v still pinned", owner, id)
 			}
 			delete(bp.resident, id)
+			bp.resBytes -= 8 * int64(len(p.data))
 		}
 	}
 	var errs []error
@@ -206,9 +263,25 @@ func (bp *BufferPool) ResidentPages() int {
 	return len(bp.resident)
 }
 
-// makeRoomLocked evicts LRU unpinned pages until a slot is free.
-func (bp *BufferPool) makeRoomLocked() error {
-	for len(bp.resident) >= bp.capacity {
+// ResidentBytes returns the bytes of page data currently held in memory.
+func (bp *BufferPool) ResidentBytes() int64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.resBytes
+}
+
+// makeRoomLocked evicts LRU unpinned pages until a page of `need` floats fits
+// under the pool's budget (one slot in page-count mode, 8*need bytes in byte
+// mode). In byte mode a page larger than the whole budget is admitted once the
+// pool is empty, per the NewBufferPoolBytes contract.
+func (bp *BufferPool) makeRoomLocked(need int) error {
+	full := func() bool {
+		if bp.capacity > 0 {
+			return len(bp.resident) >= bp.capacity
+		}
+		return len(bp.resident) > 0 && bp.resBytes+8*int64(need) > bp.byteCap
+	}
+	for full() {
 		var victim *page
 		for _, p := range bp.resident {
 			if p.pinned > 0 {
@@ -219,7 +292,10 @@ func (bp *BufferPool) makeRoomLocked() error {
 			}
 		}
 		if victim == nil {
-			return fmt.Errorf("storage: buffer pool exhausted: all %d pages pinned", bp.capacity)
+			if bp.capacity > 0 {
+				return fmt.Errorf("storage: buffer pool exhausted: all %d pages pinned", bp.capacity)
+			}
+			return fmt.Errorf("storage: buffer pool exhausted: all %d resident bytes pinned, need %d more", bp.resBytes, 8*int64(need))
 		}
 		if victim.dirty {
 			if err := bp.storeLocked(victim); err != nil {
@@ -227,6 +303,7 @@ func (bp *BufferPool) makeRoomLocked() error {
 			}
 		}
 		delete(bp.resident, victim.id)
+		bp.resBytes -= 8 * int64(len(victim.data))
 		bp.stats.Evictions++
 		mBPEvictions.Inc()
 	}
