@@ -83,7 +83,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance|15Fusion|16CompiledFusion|17OutOfCoreTraining)$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE(4CompressedMV|5Rewrites|6BismarckParallel|10SparseVsDense|14FaultTolerance|15Fusion|16CompiledFusion|17OutOfCoreTraining|18FactorizedSnowflake)$$' \
 		-benchmem -count=$(BENCH_COUNT) .
 
 # Short native-fuzzing smoke over the fusion equivalence property: random
@@ -93,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzFusionSemantics$$' -fuzztime 15s ./internal/dml
 	$(GO) test -run '^$$' -fuzz 'FuzzCompiledFusionSemantics$$' -fuzztime 15s ./internal/dml
 	$(GO) test -run '^$$' -fuzz 'FuzzServeProtocol$$' -fuzztime 15s ./internal/serve
+	$(GO) test -run '^$$' -fuzz 'FuzzFactorizedGram$$' -fuzztime 15s ./internal/factorized
 
 # End-to-end serving smoke: loadtest starts dmmlserve in-process with the
 # demo models and drives a closed loop; fails on any request error or if
@@ -101,21 +102,23 @@ serve-smoke:
 	$(GO) run ./cmd/loadtest -selfserve -conns 8 -duration 2s -min-qps 20000
 
 bench-guard:
-	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16,E17 -snapshot bench_current.json -metrics metrics_current.json
+	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16,E17,E18 -snapshot bench_current.json -metrics metrics_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_baseline.json -current bench_current.json -metrics metrics_current.json
 
 # Nightly variant: identical measurement, but a regression past the warn
 # threshold fails the job instead of just warning.
 bench-guard-strict:
-	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16,E17 -snapshot bench_current.json -metrics metrics_current.json
+	$(GO) run ./cmd/dmmlbench -exp E4,E5,E15,E16,E17,E18 -snapshot bench_current.json -metrics metrics_current.json
 	$(GO) run ./cmd/benchguard -strict -baseline BENCH_baseline.json -current bench_current.json -metrics metrics_current.json
 
 # Per-package statement coverage with an HTML report, plus hard floors on the
-# packages that own the out-of-core datapath's correctness: the buffer pool
-# (storage) and the page codec (compress). The floor check parses go test's
+# packages that own the out-of-core datapath's correctness — the buffer pool
+# (storage) and the page codec (compress) — and on the join-tree pushdown
+# engine (factorized). The floor check parses go test's
 # own per-package coverage lines, so it cannot drift from the profile.
 COVER_FLOOR_STORAGE ?= 85
 COVER_FLOOR_COMPRESS ?= 82
+COVER_FLOOR_FACTORIZED ?= 80
 
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./internal/... | tee coverage.txt
@@ -129,7 +132,8 @@ cover:
 		echo "cover: internal/$$1 $$pct% (floor $$2%)"; \
 	}; \
 	check storage $(COVER_FLOOR_STORAGE); \
-	check compress $(COVER_FLOOR_COMPRESS)
+	check compress $(COVER_FLOOR_COMPRESS); \
+	check factorized $(COVER_FLOOR_FACTORIZED)
 
 # Nightly extended fuzzing: the same three properties fuzz-smoke touches for
 # 15s each get 5 minutes each.
@@ -139,6 +143,7 @@ fuzz-nightly:
 	$(GO) test -run '^$$' -fuzz 'FuzzFusionSemantics$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/dml
 	$(GO) test -run '^$$' -fuzz 'FuzzCompiledFusionSemantics$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/dml
 	$(GO) test -run '^$$' -fuzz 'FuzzServeProtocol$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz 'FuzzFactorizedGram$$' -fuzztime $(FUZZ_NIGHTLY_TIME) ./internal/factorized
 
 lint-examples:
 	$(GO) run ./cmd/dmml lint -strict examples/dml_script/scripts/*.dml

@@ -98,6 +98,10 @@ func BenchmarkE17OutOfCoreTraining(b *testing.B) {
 	benchExperiment(b, experiments.E17OutOfCoreTraining)
 }
 
+func BenchmarkE18FactorizedSnowflake(b *testing.B) {
+	benchExperiment(b, experiments.E18FactorizedSnowflake)
+}
+
 func BenchmarkAblationKMeansPruning(b *testing.B) {
 	benchExperiment(b, experiments.EKMeansPruning)
 }

@@ -130,6 +130,7 @@ func run() int {
 		"E15":    experiments.E15Fusion,
 		"E16":    experiments.E16CompiledFusion,
 		"E17":    experiments.E17OutOfCoreTraining,
+		"E18":    experiments.E18FactorizedSnowflake,
 		"E-ABL1": experiments.EKMeansPruning,
 		"E-ABL2": experiments.EColumnCoCoding,
 	}

@@ -275,20 +275,23 @@ func TrainNormalized(design *factorized.Design, y []float64, task Task, o Option
 	}
 
 	iters := float64(task.MaxIter)
-	factIter := design.FlopsPerMatVec() * 2
-	matIter := design.FlopsPerMatVecMaterialized() * 2
+	// FlopsPerMatVec already models the full X·w plus xᵀ·X pair per
+	// iteration, including cache-aware gather penalties along each edge.
+	factIter := design.FlopsPerMatVec()
+	matIter := design.FlopsPerMatVecMaterialized()
 	materializeCost := 2 * float64(n) * float64(d) // write + first touch
 	matBytes := int64(8 * n * d)
+	factBytes := design.ResidentBytes()
 
 	var plans []PlanCost
 	addPlan := func(name string, flops float64, ws int64) {
 		plans = append(plans, PlanCost{Name: name, EstFlops: spillAdjust(flops, ws, o), WorkingSetBytes: ws})
 	}
-	addPlan("factorized+iterative", iters*factIter, factorizedBytes(design))
+	addPlan("factorized+iterative", iters*factIter, factBytes)
 	addPlan("materialized+iterative", materializeCost+iters*matIter, matBytes)
 	if task.Loss == SquaredLoss {
 		// F-style factorized normal equations vs. materialized ones.
-		addPlan("factorized+direct", design.FlopsPerMatVec()*float64(d)/2+float64(d*d*d)/3, factorizedBytes(design))
+		addPlan("factorized+direct", design.FlopsPerGram()+float64(d*d*d)/3, factBytes)
 		addPlan("materialized+direct", materializeCost+float64(n)*float64(d)*float64(d)+float64(d*d*d)/3, matBytes)
 	}
 	name, explained, err := choose(plans, o.ForcePlan)
@@ -335,15 +338,6 @@ func TrainNormalized(design *factorized.Design, y []float64, task Task, o Option
 	}
 	loss, _ := opt.LossAndGradient(design, y, w, task.lossFn(), 0)
 	return &Result{W: w, Plan: name, FinalLoss: loss, Explain: explained}, nil
-}
-
-// factorizedBytes estimates the resident bytes of the normalized
-// representation: the fact block plus each dimension block plus fk columns.
-func factorizedBytes(d *factorized.Design) int64 {
-	// The design does not expose its internals; derive from the flops model:
-	// FlopsPerMatVec = 2·n·dS + Σ(2·nk·dk + 2n). Bytes ≈ flops/2·8 is a good
-	// proxy because every term is one multiply-add per resident cell or fk.
-	return int64(d.FlopsPerMatVec() / 2 * 8)
 }
 
 // ExplainString renders a plan table.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"dmml/internal/factorized"
 	"dmml/internal/la"
@@ -288,5 +289,88 @@ func TestPagedPlanAbsentWithoutBudget(t *testing.T) {
 		if p.Name == "paged+iterative" {
 			t.Fatal("paged plan offered without a memory budget")
 		}
+	}
+}
+
+// TestCostModelRankingMatchesWallTime pins the corrected cost model against
+// reality on two adversarial shapes: a high-tuple-ratio star where the
+// gather term is small relative to the avoided redundancy (factorized must
+// win, predicted and measured) and a tiny fact over a huge dimension where
+// factorized touches far more data than the join (materialized must win,
+// predicted and measured). The old flat 2·n gather estimate got shapes like
+// the second wrong. Wall-clock ranking gets three attempts; the model-side
+// assertions always hold.
+func TestCostModelRankingMatchesWallTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock ranking test")
+	}
+	shapes := []struct {
+		name               string
+		factRows, dimRows  int
+		wantFactorizedWins bool
+	}{
+		{"high tuple ratio", 40000, 50, true},
+		{"huge dimension", 2000, 100000, false},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(190))
+			s, err := workload.GenerateStar(r, workload.StarConfig{
+				FactRows:  sh.factRows,
+				FactFeats: 4,
+				DimRows:   []int{sh.dimRows},
+				DimFeats:  []int{6},
+				Task:      workload.ClassificationTask,
+				Noise:     0.05,
+				DimSignal: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := factorized.NewDesign(s.FactX, s.FKs, s.DimX)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task := Task{Loss: LogisticLoss, MaxIter: 40}
+
+			// Model side: the predicted ranking must match the shape.
+			res, err := TrainNormalized(d, s.Y, task, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := map[string]float64{}
+			for _, p := range res.Explain {
+				est[p.Name] = p.EstFlops
+			}
+			predFact := est["factorized+iterative"] < est["materialized+iterative"]
+			if predFact != sh.wantFactorizedWins {
+				t.Fatalf("model predicts factorized=%v, want %v\n%s",
+					predFact, sh.wantFactorizedWins, ExplainString(res.Explain))
+			}
+
+			// Measured side: the forced-plan wall times must rank the same
+			// way. Timing is noisy, so allow three attempts.
+			for attempt := 1; ; attempt++ {
+				start := time.Now()
+				if _, err := TrainNormalized(d, s.Y, task, Options{ForcePlan: "factorized+iterative"}); err != nil {
+					t.Fatal(err)
+				}
+				tFact := time.Since(start)
+				start = time.Now()
+				if _, err := TrainNormalized(d, s.Y, task, Options{ForcePlan: "materialized+iterative"}); err != nil {
+					t.Fatal(err)
+				}
+				tMat := time.Since(start)
+				measFact := tFact < tMat
+				if measFact == sh.wantFactorizedWins {
+					break
+				}
+				if attempt == 3 {
+					t.Fatalf("measured ranking disagrees with model after %d attempts: factorized=%v materialized=%v, want factorized wins = %v",
+						attempt, tFact, tMat, sh.wantFactorizedWins)
+				}
+			}
+		})
 	}
 }

@@ -473,7 +473,7 @@ func E16CompiledFusion(quick bool) (Table, error) {
 
 // Order lists experiment ids in EXPERIMENTS.md order.
 var Order = []string{
-	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E-ABL1", "E-ABL2",
+	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E-ABL1", "E-ABL2",
 }
 
 // All runs every experiment, returning tables in EXPERIMENTS.md order.
@@ -496,6 +496,7 @@ func All(quick bool) ([]Table, error) {
 		E15Fusion,
 		E16CompiledFusion,
 		E17OutOfCoreTraining,
+		E18FactorizedSnowflake,
 		EKMeansPruning,
 		EColumnCoCoding,
 	}

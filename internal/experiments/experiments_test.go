@@ -15,7 +15,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 19 {
+	if len(tables) != 20 {
 		t.Fatalf("got %d tables", len(tables))
 	}
 	seen := map[string]bool{}
@@ -389,5 +389,65 @@ func TestE17OutOfCoreInvariants(t *testing.T) {
 				float64(cla.train)/float64(pre.train), pre.train, cla.train)
 		}
 		t.Logf("attempt %d: wall-clock pin missed (cla ok=%v prefetch ok=%v), retrying", attempt, claOK, preOK)
+	}
+}
+
+// TestE18FactorizedSnowflakeInvariants pins the join-tree engine's claims at
+// full scale: both solvers land on the same model factorized as
+// materialized (identical optimizer config — any delta is floating-point
+// reassociation), the cost model predicts a clear factorized win on this
+// shape, and the measured steady-state GD iteration over the snowflake is at
+// least 3x faster factorized than over the materialized join — the E18
+// acceptance floor.
+//
+// The structural invariants must hold on every run; the wall-clock ratio
+// gets up to three attempts, and is skipped under the race detector.
+func TestE18FactorizedSnowflakeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale wall-clock pin")
+	}
+	const attempts = 3
+	for attempt := 1; ; attempt++ {
+		results, width, err := e18Run(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 4 || width != 78 {
+			t.Fatalf("got %d variants, width %d; want 4 variants of width 78", len(results), width)
+		}
+		byName := map[string]e18Result{}
+		for _, r := range results {
+			byName[r.variant] = r
+			if math.IsNaN(r.finalLoss) || r.finalLoss < 0 {
+				t.Fatalf("%s: final loss %v", r.variant, r.finalLoss)
+			}
+		}
+		// Matched accuracy: identical config on both representations.
+		for _, pair := range [][2]string{{"gd+factorized", "gd+materialized"}, {"ridge+factorized", "ridge+materialized"}} {
+			fl, ml := byName[pair[0]].finalLoss, byName[pair[1]].finalLoss
+			if diff := math.Abs(fl - ml); diff > 1e-6*(1+math.Abs(ml)) {
+				t.Fatalf("%s loss %v vs %s loss %v", pair[0], fl, pair[1], ml)
+			}
+		}
+		// The model must predict a clear win on this shape before wall clock
+		// is consulted at all.
+		if pred := byName["gd+factorized"].predicted; pred < 3 {
+			t.Fatalf("predicted GD speedup %.2f < 3 on the snowflake shape", pred)
+		}
+		if pred := byName["ridge+factorized"].predicted; pred < 3 {
+			t.Fatalf("predicted Gram speedup %.2f < 3 on the snowflake shape", pred)
+		}
+		if raceEnabled {
+			return
+		}
+		sp := float64(byName["gd+materialized"].perIter) / float64(byName["gd+factorized"].perIter)
+		if sp >= 3 {
+			return
+		}
+		if attempt == attempts {
+			t.Fatalf("factorized per-iteration speedup %.2fx < 3x (%v vs %v)",
+				sp, byName["gd+factorized"].perIter, byName["gd+materialized"].perIter)
+		}
+		t.Logf("attempt %d: per-iteration speedup %.2fx < 3x, retrying", attempt, sp)
 	}
 }

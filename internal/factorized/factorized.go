@@ -1,10 +1,12 @@
 // Package factorized implements learning over joins without materializing
 // them, reproducing the technique of Orion (Kumar et al., SIGMOD'15) and F
-// (Schleich et al., SIGMOD'16) that the paper surveys: for a star schema
-// S ⋉ R₁ ⋉ … ⋉ R_K, the linear-algebra primitives a generalized linear model
-// needs (X·w, xᵀ·X, XᵀX) are pushed through the foreign-key structure so the
-// per-iteration cost scales with |S|·d_S + Σ|R_k|·d_k instead of
-// |S|·(d_S + Σd_k).
+// (Schleich et al., SIGMOD'16) that the paper surveys, generalized from star
+// schemas to arbitrary acyclic join trees (snowflakes) à la F/LMFAO: the
+// linear-algebra primitives a generalized linear model needs (X·w, xᵀ·X,
+// XᵀX) are pushed through the PK–FK structure as partial aggregates — partial
+// products per relation, group-sums along each edge, co-occurrence counting
+// arrays for cross blocks — so the per-iteration cost scales with
+// Σ|R_v|·d_v plus one pass per edge instead of |join|·Σd_v.
 package factorized
 
 import (
@@ -13,19 +15,18 @@ import (
 	"dmml/internal/la"
 )
 
-// Design is a normalized design matrix: fact-table features plus K
-// foreign-key-linked dimension tables. The logical (materialized) design
-// matrix is [FactX | DimX₁[fk₁] | … | DimX_K[fk_K]].
+// Design is a normalized design matrix over a one-level star schema: fact
+// table features plus K foreign-key-linked dimension tables. It is the
+// single-depth special case of JoinTree (which it embeds), kept as the
+// star-shaped constructor the planner and experiments speak.
 type Design struct {
-	fact    *la.Dense
-	fks     [][]int
-	dims    []*la.Dense
-	n       int
-	total   int
-	offsets []int // column offset of each dimension block in the joined view
+	*JoinTree
+	fact *la.Dense
+	fks  [][]int
+	dims []*la.Dense
 }
 
-// NewDesign validates and assembles a factorized design matrix. Every fks[k]
+// NewDesign validates and assembles a factorized star design. Every fks[k]
 // must have one entry per fact row, in range for dims[k].
 func NewDesign(fact *la.Dense, fks [][]int, dims []*la.Dense) (*Design, error) {
 	if fact == nil {
@@ -34,9 +35,10 @@ func NewDesign(fact *la.Dense, fks [][]int, dims []*la.Dense) (*Design, error) {
 	if len(fks) != len(dims) {
 		return nil, fmt.Errorf("factorized: %d fk columns for %d dimension tables", len(fks), len(dims))
 	}
-	n, dS := fact.Dims()
-	d := &Design{fact: fact, fks: fks, dims: dims, n: n}
-	d.total = dS
+	n := fact.Rows()
+	nodes := make([]Node, 1, 1+len(dims))
+	nodes[0] = Node{X: fact}
+	edges := make([]Edge, 0, len(dims))
 	for k := range dims {
 		if dims[k] == nil {
 			return nil, fmt.Errorf("factorized: nil dimension table %d", k)
@@ -44,182 +46,21 @@ func NewDesign(fact *la.Dense, fks [][]int, dims []*la.Dense) (*Design, error) {
 		if len(fks[k]) != n {
 			return nil, fmt.Errorf("factorized: fk column %d has %d entries for %d fact rows", k, len(fks[k]), n)
 		}
-		nk, _ := dims[k].Dims()
+		nk := dims[k].Rows()
 		for i, r := range fks[k] {
 			if r < 0 || r >= nk {
 				return nil, fmt.Errorf("factorized: fk %d row %d references dim row %d (table has %d)", k, i, r, nk)
 			}
 		}
-		d.offsets = append(d.offsets, d.total)
-		d.total += dims[k].Cols()
+		nodes = append(nodes, Node{X: dims[k]})
+		edges = append(edges, Edge{Parent: 0, Child: k + 1, FK: fks[k]})
 	}
-	return d, nil
+	t, err := NewJoinTree(nodes, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{JoinTree: t, fact: fact, fks: fks, dims: dims}, nil
 }
-
-// Rows implements opt.BulkData: the number of joined (fact) rows.
-func (d *Design) Rows() int { return d.n }
-
-// Cols implements opt.BulkData: the width of the joined feature vector.
-func (d *Design) Cols() int { return d.total }
 
 // NumDims returns the number of dimension tables.
 func (d *Design) NumDims() int { return len(d.dims) }
-
-// factPart returns the slice of w covering the fact block.
-func (d *Design) factPart(w []float64) []float64 { return w[:d.fact.Cols()] }
-
-// dimPart returns the slice of w covering dimension block k.
-func (d *Design) dimPart(w []float64, k int) []float64 {
-	lo := d.offsets[k]
-	return w[lo : lo+d.dims[k].Cols()]
-}
-
-// MatVec computes the joined X·w factorized: each dimension contributes
-// through a |R_k|-sized partial-product table gathered via the fk column.
-func (d *Design) MatVec(w []float64) []float64 {
-	if len(w) != d.total {
-		panic(fmt.Sprintf("factorized: MatVec weight length %d, want %d", len(w), d.total))
-	}
-	out := la.MatVec(d.fact, d.factPart(w))
-	for k := range d.dims {
-		partial := la.MatVec(d.dims[k], d.dimPart(w, k)) // |R_k| inner products
-		fk := d.fks[k]
-		for i := range out {
-			out[i] += partial[fk[i]]
-		}
-	}
-	return out
-}
-
-// VecMat computes the joined xᵀ·X factorized: per dimension, x is first
-// group-summed by foreign key (one pass over the fact table), then a single
-// |R_k|-sized vector–matrix product finishes the block.
-func (d *Design) VecMat(x []float64) []float64 {
-	if len(x) != d.n {
-		panic(fmt.Sprintf("factorized: VecMat length %d, want %d rows", len(x), d.n))
-	}
-	out := make([]float64, d.total)
-	copy(out, la.VecMat(x, d.fact))
-	for k := range d.dims {
-		nk := d.dims[k].Rows()
-		grouped := make([]float64, nk)
-		for i, r := range d.fks[k] {
-			grouped[r] += x[i]
-		}
-		blk := la.VecMat(grouped, d.dims[k])
-		copy(out[d.offsets[k]:], blk)
-	}
-	return out
-}
-
-// Gram computes the joined XᵀX without materializing the join (the F-style
-// factorized normal equations):
-//
-//	S·S block     — Gram of the fact features;
-//	S·R_k blocks  — fact features group-summed by fk, then one d_S×d_k
-//	                product against R_k;
-//	R_k·R_k block — R_k rows weighted by fk multiplicities;
-//	R_k·R_l block — co-occurrence counts of (fk_k, fk_l) pairs, then a
-//	                count-weighted sum of dim-row outer products.
-func (d *Design) Gram() *la.Dense {
-	out := la.NewDense(d.total, d.total)
-	dS := d.fact.Cols()
-
-	// S·S block.
-	setBlock(out, 0, 0, la.Gram(d.fact))
-
-	for k := range d.dims {
-		nk := d.dims[k].Rows()
-		dk := d.dims[k].Cols()
-		fk := d.fks[k]
-
-		// Group-sum fact rows by fk value: G is nk × dS.
-		grouped := la.NewDense(nk, dS)
-		counts := make([]float64, nk)
-		for i, r := range fk {
-			la.Axpy(1, d.fact.RowView(i), grouped.RowView(r))
-			counts[r]++
-		}
-		// S·R_k block: groupedᵀ · R_k  (dS × dk).
-		cross := la.MatMul(grouped.T(), d.dims[k])
-		setBlock(out, 0, d.offsets[k], cross)
-		setBlock(out, d.offsets[k], 0, cross.T())
-
-		// R_k·R_k block: Σ_r counts[r] · row_r ⊗ row_r.
-		diag := la.NewDense(dk, dk)
-		for r := 0; r < nk; r++ {
-			if counts[r] == 0 {
-				continue
-			}
-			la.OuterAdd(diag, counts[r], d.dims[k].RowView(r), d.dims[k].RowView(r))
-		}
-		setBlock(out, d.offsets[k], d.offsets[k], diag)
-
-		// R_k·R_l blocks for l > k via pair co-occurrence counts.
-		for l := k + 1; l < len(d.dims); l++ {
-			nl := d.dims[l].Rows()
-			fl := d.fks[l]
-			pair := make(map[int64]float64)
-			for i := range fk {
-				pair[int64(fk[i])*int64(nl)+int64(fl[i])]++
-			}
-			blk := la.NewDense(dk, d.dims[l].Cols())
-			for key, c := range pair {
-				r := int(key / int64(nl))
-				s := int(key % int64(nl))
-				la.OuterAdd(blk, c, d.dims[k].RowView(r), d.dims[l].RowView(s))
-			}
-			setBlock(out, d.offsets[k], d.offsets[l], blk)
-			setBlock(out, d.offsets[l], d.offsets[k], blk.T())
-		}
-	}
-	return out
-}
-
-// XtY computes Xᵀy factorized (an alias of VecMat, named for the normal
-// equations use case).
-func (d *Design) XtY(y []float64) []float64 { return d.VecMat(y) }
-
-// Materialize produces the joined dense design matrix (the baseline input).
-func (d *Design) Materialize() *la.Dense {
-	out := la.NewDense(d.n, d.total)
-	for i := 0; i < d.n; i++ {
-		row := out.RowView(i)
-		copy(row, d.fact.RowView(i))
-		for k := range d.dims {
-			copy(row[d.offsets[k]:], d.dims[k].RowView(d.fks[k][i]))
-		}
-	}
-	return out
-}
-
-// setBlock copies src into dst at (r0, c0).
-func setBlock(dst *la.Dense, r0, c0 int, src *la.Dense) {
-	rows, cols := src.Dims()
-	for i := 0; i < rows; i++ {
-		copy(dst.RowView(r0 + i)[c0:c0+cols], src.RowView(i))
-	}
-}
-
-// FlopsPerMatVec estimates the floating-point work of one factorized
-// X·w + xᵀ·X pair, the quantity the cost-based planner compares against the
-// materialized estimate.
-func (d *Design) FlopsPerMatVec() float64 {
-	f := 2 * float64(d.n) * float64(d.fact.Cols())
-	for k := range d.dims {
-		f += 2 * float64(d.dims[k].Rows()) * float64(d.dims[k].Cols()) // partial products
-		f += 2 * float64(d.n)                                          // gather/group
-	}
-	return f
-}
-
-// FlopsPerMatVecMaterialized estimates the same work over the joined matrix.
-func (d *Design) FlopsPerMatVecMaterialized() float64 {
-	return 2 * float64(d.n) * float64(d.total)
-}
-
-// Speedup is the predicted factorized-vs-materialized per-iteration ratio
-// (>1 means factorized wins).
-func (d *Design) Speedup() float64 {
-	return d.FlopsPerMatVecMaterialized() / d.FlopsPerMatVec()
-}

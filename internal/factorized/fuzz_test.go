@@ -1,0 +1,49 @@
+package factorized
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmml/internal/la"
+)
+
+// FuzzFactorizedGram drives random acyclic join trees (random depth and
+// branching, key-only relations, single-row relations) through every
+// pushdown kernel and cross-checks against the materialized join. The seed
+// deterministically fixes the schema, the data, and the probe vectors.
+func FuzzFactorizedGram(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(1 << 40))
+
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		s, err := randSnowflake(r)
+		if err != nil {
+			t.Skip() // config rejected (e.g. every relation featureless)
+		}
+		tr, err := joinTreeFromSnowflake(s)
+		if err != nil {
+			t.Fatalf("seed %d: generated schema rejected: %v", seed, err)
+		}
+		m := s.Materialize()
+		if got := tr.Materialize(); !got.Equal(m, 1e-12) {
+			t.Fatalf("seed %d: Materialize mismatch", seed)
+		}
+		w := randVec(r, tr.Cols())
+		if d := maxAbsDiff(tr.MatVec(w), la.MatVec(m, w)); d > 1e-8 {
+			t.Fatalf("seed %d: MatVec diff %g", seed, d)
+		}
+		x := randVec(r, tr.Rows())
+		if d := maxAbsDiff(tr.VecMat(x), la.VecMat(x, m)); d > 1e-8 {
+			t.Fatalf("seed %d: VecMat diff %g", seed, d)
+		}
+		if d := maxAbsDiff(tr.XtY(x), la.XtY(m, x)); d > 1e-8 {
+			t.Fatalf("seed %d: XtY diff %g", seed, d)
+		}
+		if !tr.Gram().Equal(la.Gram(m), 1e-7) {
+			t.Fatalf("seed %d: Gram mismatch", seed)
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package factorized
+
+import "dmml/internal/metrics"
+
+// Engine observability instruments (see internal/metrics); no-ops costing
+// one atomic load until metrics.Enable(), so the kernels' AllocsPerRun pins
+// hold with them in place.
+//
+// The pushdown/materialized flop pair is the headline: every kernel call
+// adds both the flops the pushdown actually spends and what the same call
+// would have cost over the joined matrix, so `dmmlbench -metrics` shows the
+// realized factorization win of a whole run as one ratio.
+var (
+	mMatVecCalls = metrics.NewCounter("factorized.matvec.calls")
+	mVecMatCalls = metrics.NewCounter("factorized.vecmat.calls")
+	mGramCalls   = metrics.NewCounter("factorized.gram.calls")
+
+	mMatVecTimer = metrics.NewTimer("factorized.MatVec")
+	mVecMatTimer = metrics.NewTimer("factorized.VecMat")
+	mGramTimer   = metrics.NewTimer("factorized.Gram")
+
+	mFlopsPushdown     = metrics.NewCounter("factorized.flops.pushdown")
+	mFlopsMaterialized = metrics.NewCounter("factorized.flops.materialized")
+)

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"testing"
 
+	"dmml/internal/factorized"
 	"dmml/internal/la"
 	"dmml/internal/pool"
+	"dmml/internal/workload"
 )
 
 func randProblem(r *rand.Rand, n, d int) (*la.Dense, []float64) {
@@ -105,4 +107,53 @@ func TestParallelSGDStillLearns(t *testing.T) {
 			t.Errorf("mode %d: final loss %v not well below zero-model loss %v", mode, final, zeroLoss)
 		}
 	}
+}
+
+// TestJoinTreeGDStepZeroAllocSteadyState: the acceptance property of the
+// join-tree engine — a full GD inner-loop evaluation over a 3-level
+// snowflake JoinTree (MatVecInto through the tree, loss, VecMatInto back)
+// allocates nothing once the tree and pool scratch are warm.
+func TestJoinTreeGDStepZeroAllocSteadyState(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	r := rand.New(rand.NewSource(72))
+	s, err := workload.GenerateSnowflake(r, workload.SnowflakeConfig{
+		FactRows:  600,
+		FactFeats: 3,
+		Nodes: []workload.SnowNode{
+			{Rows: 40, Feats: 4, Parent: -1},
+			{Rows: 8, Feats: 3, Parent: 0},
+			{Rows: 25, Feats: 2, Parent: -1},
+		},
+		Task:   workload.RegressionTask,
+		Signal: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]factorized.Node, len(s.X))
+	var edges []factorized.Edge
+	for v := range s.X {
+		nodes[v] = factorized.Node{X: s.X[v], Rows: s.Rows[v]}
+		if v > 0 {
+			edges = append(edges, factorized.Edge{Parent: s.Parents[v], Child: v, FK: s.FKs[v]})
+		}
+	}
+	tree, err := factorized.NewJoinTree(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, d := tree.Rows(), tree.Cols()
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	margins := pool.GetF64(n)
+	derivs := pool.GetF64(n)
+	lossAndGradientInto(tree, s.Y, w, Squared{}, 0.01, margins, derivs, grad) // warm up
+	if a := testing.AllocsPerRun(50, func() {
+		lossAndGradientInto(tree, s.Y, w, Squared{}, 0.01, margins, derivs, grad)
+	}); a != 0 {
+		t.Errorf("JoinTree GD step allocates %v per run, want 0", a)
+	}
+	pool.PutF64(margins)
+	pool.PutF64(derivs)
 }

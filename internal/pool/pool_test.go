@@ -247,3 +247,53 @@ func TestDoParallelAtHigherGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+func TestIntScratchBasics(t *testing.T) {
+	if buf := GetInt(0); buf != nil {
+		t.Errorf("GetInt(0) = %v, want nil", buf)
+	}
+	buf := GetInt(100)
+	if len(buf) != 100 {
+		t.Fatalf("GetInt(100) len %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = 7
+	}
+	PutInt(buf)
+	// Oversized requests bypass the pool but still work.
+	big := GetInt(1<<scratchMaxBits + 1)
+	if len(big) != 1<<scratchMaxBits+1 {
+		t.Fatalf("oversized GetInt len %d", len(big))
+	}
+	PutInt(big) // dropped, must not panic
+	// Foreign buffers with non-class capacities are silently dropped.
+	PutInt(make([]int, 100))
+}
+
+// TestIntScratchSteadyStateAllocs: the int freelist mirrors the float64 one —
+// a warm Get/Put cycle must not allocate (the factorized key-composition
+// kernels rely on this).
+func TestIntScratchSteadyStateAllocs(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		PutInt(GetInt(4096))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b := GetInt(4096)
+		PutInt(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state GetInt/PutInt allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestIntScratchReuse: a returned buffer is handed back on the next Get of
+// the same class.
+func TestIntScratchReuse(t *testing.T) {
+	a := GetInt(512)
+	PutInt(a)
+	b := GetInt(512)
+	if &a[0] != &b[0] {
+		t.Error("GetInt did not reuse the returned buffer")
+	}
+	PutInt(b)
+}

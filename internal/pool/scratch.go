@@ -33,7 +33,19 @@ type scratchFreelist struct {
 	max  int // retention cap for this class
 }
 
-var scratchClasses [scratchMaxBits - scratchMinBits + 1]scratchFreelist
+// intFreelist mirrors scratchFreelist for []int buffers — the typed scratch
+// behind join-key arrays (composed foreign keys, radix/counting passes) in
+// the factorized engine.
+type intFreelist struct {
+	mu   sync.Mutex
+	bufs [][]int
+	max  int
+}
+
+var (
+	scratchClasses [scratchMaxBits - scratchMinBits + 1]scratchFreelist
+	intScratch     [scratchMaxBits - scratchMinBits + 1]intFreelist
+)
 
 func init() {
 	for c := range scratchClasses {
@@ -43,6 +55,7 @@ func init() {
 			n = 64
 		}
 		scratchClasses[c].max = n // >= 1: largest class is exactly the budget
+		intScratch[c].max = n     // int is 8 bytes on every supported platform
 	}
 }
 
@@ -89,6 +102,45 @@ func GetF64Zeroed(n int) []float64 {
 		buf[i] = 0
 	}
 	return buf
+}
+
+// GetInt returns a length-n scratch []int with unspecified contents. It is
+// the integer twin of GetF64, pooled under the same size classes; pair every
+// GetInt with PutInt.
+func GetInt(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	c := scratchClass(n)
+	if c < 0 {
+		return make([]int, n)
+	}
+	fl := &intScratch[c]
+	fl.mu.Lock()
+	if k := len(fl.bufs); k > 0 {
+		buf := fl.bufs[k-1]
+		fl.bufs[k-1] = nil
+		fl.bufs = fl.bufs[:k-1]
+		fl.mu.Unlock()
+		return buf[:n]
+	}
+	fl.mu.Unlock()
+	return make([]int, n, 1<<(scratchMinBits+c))
+}
+
+// PutInt returns an int scratch slice to the pool; like PutF64, foreign or
+// over-cap buffers are dropped for the GC.
+func PutInt(buf []int) {
+	c := cap(buf)
+	if c < 1<<scratchMinBits || c > 1<<scratchMaxBits || c&(c-1) != 0 {
+		return
+	}
+	fl := &intScratch[scratchClass(c)]
+	fl.mu.Lock()
+	if len(fl.bufs) < fl.max {
+		fl.bufs = append(fl.bufs, buf[:c])
+	}
+	fl.mu.Unlock()
 }
 
 // PutF64 returns a scratch slice to the pool. Slices whose capacity is not a

@@ -55,6 +55,8 @@ var noallocAllowedFuncs = map[string]bool{
 	poolPkgPath + ".GetF64":       true,
 	poolPkgPath + ".GetF64Zeroed": true,
 	poolPkgPath + ".PutF64":       true,
+	poolPkgPath + ".GetInt":       true,
+	poolPkgPath + ".PutInt":       true,
 	poolPkgPath + ".Workers":      true,
 	poolPkgPath + ".SerialNow":    true,
 }

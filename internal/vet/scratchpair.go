@@ -25,7 +25,19 @@ var AnalyzerScratchPair = &Analyzer{
 }
 
 func isScratchAcquire(info *types.Info, call *ast.CallExpr) bool {
-	return isPkgFunc(info, call, poolPkgPath, "GetF64") || isPkgFunc(info, call, poolPkgPath, "GetF64Zeroed")
+	return isPkgFunc(info, call, poolPkgPath, "GetF64") || isPkgFunc(info, call, poolPkgPath, "GetF64Zeroed") ||
+		isPkgFunc(info, call, poolPkgPath, "GetInt")
+}
+
+// scratchReleaseName maps an acquire call to the release function that pairs
+// with it: GetInt buffers go back through PutInt, float buffers through
+// PutF64. Releasing through the wrong twin silently drops the buffer, so the
+// proof demands the matching one.
+func scratchReleaseName(info *types.Info, acquire *ast.CallExpr) string {
+	if isPkgFunc(info, acquire, poolPkgPath, "GetInt") {
+		return "PutInt"
+	}
+	return "PutF64"
 }
 
 func runScratchPair(pass *Pass) {
@@ -33,15 +45,16 @@ func runScratchPair(pass *Pass) {
 		return // the allocator's own implementation
 	}
 	isAcquire := func(call *ast.CallExpr) bool { return isScratchAcquire(pass.Info, call) }
-	// releaseAnywhere: any pool.PutF64 call, regardless of argument — used
-	// only to sanction the slot-transfer idiom.
+	// releaseAnywhere: any pool.PutF64/PutInt call, regardless of argument —
+	// used only to sanction the slot-transfer idiom.
 	releaseAnywhere := func(n ast.Node) bool {
 		found := false
 		ast.Inspect(n, func(n ast.Node) bool {
 			if found {
 				return false
 			}
-			if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(pass.Info, call, poolPkgPath, "PutF64") {
+			if call, ok := n.(*ast.CallExpr); ok &&
+				(isPkgFunc(pass.Info, call, poolPkgPath, "PutF64") || isPkgFunc(pass.Info, call, poolPkgPath, "PutInt")) {
 				found = true
 				return false
 			}
@@ -80,10 +93,11 @@ func checkScratchObj(pass *Pass, fc funcContext, b acquireBinding, releaseAnywhe
 		pass.Reportf(b.call.Pos(), "scratch buffer %q escapes (%s) without //dmml:owns-scratch on %s", obj.Name(), esc.desc, fc.decl.Name.Name)
 		return
 	}
+	release := scratchReleaseName(pass.Info, b.call)
 	t := &pairTracker{
 		acquireStmt: b.stmt,
 		isRelease: func(call *ast.CallExpr) bool {
-			return isPkgFunc(pass.Info, call, poolPkgPath, "PutF64") &&
+			return isPkgFunc(pass.Info, call, poolPkgPath, release) &&
 				len(call.Args) == 1 && containsIdentOf(pass.Info, call.Args[0], obj)
 		},
 		// Only a result that IS the buffer (possibly resliced) transfers
@@ -99,7 +113,7 @@ func checkScratchObj(pass *Pass, fc funcContext, b acquireBinding, releaseAnywhe
 			return false
 		},
 		leak: func(pos token.Pos, where string) {
-			pass.Reportf(pos, "scratch buffer %q (acquired at %s) is not released on %s; add pool.PutF64 on this path or defer it", obj.Name(), pass.Fset.Position(b.call.Pos()), where)
+			pass.Reportf(pos, "scratch buffer %q (acquired at %s) is not released on %s; add pool.%s on this path or defer it", obj.Name(), pass.Fset.Position(b.call.Pos()), where, release)
 		},
 	}
 	t.check(fc.body)

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmml/internal/la"
+)
+
+// SnowNode describes one non-root relation of a snowflake schema. Parent is
+// the index of the relation it joins into: -1 for the fact table, otherwise
+// the index of an earlier SnowNode. Feats may be 0 for a key-only link
+// relation.
+type SnowNode struct {
+	Rows, Feats int
+	Parent      int
+}
+
+// SnowflakeConfig parameterizes a multi-level normalized schema — the
+// workload of the join-tree factorized-learning experiments. Node k of the
+// generated tree is Nodes[k-1]; node 0 is the fact table.
+type SnowflakeConfig struct {
+	FactRows  int
+	FactFeats int
+	Nodes     []SnowNode
+	Task      Task
+	Noise     float64 // label noise (regression: σ; classification: flip prob)
+	// Signal scales the true weights on non-fact features (1 = same scale
+	// as fact features).
+	Signal float64
+}
+
+func (c SnowflakeConfig) validate() error {
+	if c.FactRows <= 0 || c.FactFeats <= 0 {
+		return fmt.Errorf("workload: snowflake needs positive fact rows/features")
+	}
+	for k, nd := range c.Nodes {
+		if nd.Rows <= 0 || nd.Feats < 0 {
+			return fmt.Errorf("workload: snowflake node %d needs positive rows and non-negative features", k)
+		}
+		if nd.Parent < -1 || nd.Parent >= k {
+			return fmt.Errorf("workload: snowflake node %d parent %d must be -1 (fact) or an earlier node", k, nd.Parent)
+		}
+	}
+	return nil
+}
+
+// Snowflake is a generated normalized schema in join-tree form: X[0] is the
+// fact table, X[1+k] realizes Nodes[k] (nil when it has no features),
+// Parents[1+k] is its parent's node index, and FKs[1+k] maps each parent row
+// to its row. WTrue spans the joined feature vector in node order.
+type Snowflake struct {
+	Config  SnowflakeConfig
+	X       []*la.Dense
+	Rows    []int
+	Parents []int // Parents[0] = -1
+	FKs     [][]int
+	Y       []float64
+	WTrue   []float64
+}
+
+// GenerateSnowflake builds a Snowflake per the config.
+func GenerateSnowflake(r *rand.Rand, cfg SnowflakeConfig) (*Snowflake, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := 1 + len(cfg.Nodes)
+	s := &Snowflake{
+		Config:  cfg,
+		X:       make([]*la.Dense, n),
+		Rows:    make([]int, n),
+		Parents: make([]int, n),
+		FKs:     make([][]int, n),
+	}
+	fill := func(m *la.Dense) {
+		for i := 0; i < m.Rows(); i++ {
+			row := m.RowView(i)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+		}
+	}
+	s.Rows[0] = cfg.FactRows
+	s.Parents[0] = -1
+	s.X[0] = la.NewDense(cfg.FactRows, cfg.FactFeats)
+	fill(s.X[0])
+	for k, nd := range cfg.Nodes {
+		v := 1 + k
+		s.Rows[v] = nd.Rows
+		s.Parents[v] = nd.Parent + 1
+		if nd.Feats > 0 {
+			s.X[v] = la.NewDense(nd.Rows, nd.Feats)
+			fill(s.X[v])
+		}
+		fk := make([]int, s.Rows[s.Parents[v]])
+		for i := range fk {
+			fk[i] = r.Intn(nd.Rows)
+		}
+		s.FKs[v] = fk
+	}
+
+	total := s.TotalFeatures()
+	s.WTrue = make([]float64, total)
+	at := 0
+	for v := 0; v < n; v++ {
+		if s.X[v] == nil {
+			continue
+		}
+		scale := cfg.Signal
+		if v == 0 {
+			scale = 1
+		}
+		for j := 0; j < s.X[v].Cols(); j++ {
+			s.WTrue[at] = scale * r.NormFloat64()
+			at++
+		}
+	}
+
+	// Labels from the joined feature vector.
+	m := s.Materialize()
+	s.Y = make([]float64, cfg.FactRows)
+	for i := 0; i < cfg.FactRows; i++ {
+		margin := la.Dot(s.WTrue, m.RowView(i))
+		switch cfg.Task {
+		case RegressionTask:
+			s.Y[i] = margin + cfg.Noise*r.NormFloat64()
+		case ClassificationTask:
+			if margin >= 0 {
+				s.Y[i] = 1
+			} else {
+				s.Y[i] = -1
+			}
+			if r.Float64() < cfg.Noise {
+				s.Y[i] = -s.Y[i]
+			}
+		}
+	}
+	return s, nil
+}
+
+// TotalFeatures is the width of the joined feature vector.
+func (s *Snowflake) TotalFeatures() int {
+	total := 0
+	for _, x := range s.X {
+		if x != nil {
+			total += x.Cols()
+		}
+	}
+	return total
+}
+
+// Materialize produces the fully joined feature matrix (the baseline the
+// materialized-learning variants train on).
+func (s *Snowflake) Materialize() *la.Dense {
+	n := len(s.X)
+	out := la.NewDense(s.Config.FactRows, s.TotalFeatures())
+	key := make([]int, n)
+	for i := 0; i < s.Config.FactRows; i++ {
+		key[0] = i
+		row := out.RowView(i)
+		at := 0
+		// Nodes are parent-before-child by construction, so one forward
+		// pass resolves every composed key.
+		for v := 0; v < n; v++ {
+			if v > 0 {
+				key[v] = s.FKs[v][key[s.Parents[v]]]
+			}
+			if s.X[v] != nil {
+				copy(row[at:], s.X[v].RowView(key[v]))
+				at += s.X[v].Cols()
+			}
+		}
+	}
+	return out
+}
